@@ -1,0 +1,101 @@
+package slingshot
+
+// One benchmark per table and figure of the paper's evaluation (§8): each
+// bench regenerates its experiment end-to-end at a reduced scale so the
+// full evaluation is exercised by `go test -bench=.`. Run the experiments
+// at paper scale with `go run ./cmd/experiments -run all` (results are
+// recorded in EXPERIMENTS.md).
+
+import (
+	"testing"
+	"time"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string, scale float64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		out, err := RunExperiment(id, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty experiment output")
+		}
+	}
+}
+
+// BenchmarkFig3VMMigration regenerates the VM pause-time CDF baseline.
+func BenchmarkFig3VMMigration(b *testing.B) { benchExperiment(b, "fig3", 1) }
+
+// BenchmarkFig8Video regenerates the video-conferencing failover figure.
+func BenchmarkFig8Video(b *testing.B) { benchExperiment(b, "fig8", 0.5) }
+
+// BenchmarkFig9Ping regenerates the three-UE ping-latency failover figure.
+func BenchmarkFig9Ping(b *testing.B) { benchExperiment(b, "fig9", 0.5) }
+
+// BenchmarkFig10Downlink regenerates the downlink throughput figure.
+func BenchmarkFig10Downlink(b *testing.B) { benchExperiment(b, "fig10a", 0.5) }
+
+// BenchmarkFig10Uplink regenerates the uplink throughput figure.
+func BenchmarkFig10Uplink(b *testing.B) { benchExperiment(b, "fig10b", 0.5) }
+
+// BenchmarkFig11Upgrade regenerates the live PHY upgrade figure.
+func BenchmarkFig11Upgrade(b *testing.B) { benchExperiment(b, "fig11", 0.6) }
+
+// BenchmarkTable2Stress regenerates the migration-storm stress table.
+func BenchmarkTable2Stress(b *testing.B) { benchExperiment(b, "table2", 0.1) }
+
+// BenchmarkFig12OrionLatency regenerates the Orion latency-vs-load figure.
+func BenchmarkFig12OrionLatency(b *testing.B) { benchExperiment(b, "fig12", 0.2) }
+
+// BenchmarkSec82Failover regenerates the failover-timeline measurements.
+func BenchmarkSec82Failover(b *testing.B) { benchExperiment(b, "sec82", 1) }
+
+// BenchmarkSec85NullFAPI regenerates the secondary-PHY overhead table.
+func BenchmarkSec85NullFAPI(b *testing.B) { benchExperiment(b, "sec85", 0.2) }
+
+// BenchmarkSec86Switch regenerates the switch-resource/inter-packet-gap
+// measurements.
+func BenchmarkSec86Switch(b *testing.B) { benchExperiment(b, "sec86", 0.2) }
+
+// BenchmarkDeploymentSecond measures simulating one second of a loaded
+// Slingshot deployment (slot clocks, fronthaul, bit-level sampled PHY).
+func BenchmarkDeploymentSecond(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := New(Options{Seed: uint64(i + 1), UEs: []UE{{ID: 1, Name: "bench", SNRdB: 26}}})
+		d.OnUplink(func(ue uint16, pkt []byte) {})
+		d.Start()
+		d.At(10*time.Millisecond, func() {
+			for j := 0; j < 100; j++ {
+				d.SendUplink(1, make([]byte, 1000))
+				d.SendDownlink(1, make([]byte, 1000))
+			}
+		})
+		d.RunFor(time.Second)
+		d.Stop()
+	}
+}
+
+// BenchmarkFailover measures kill→recovery of a full deployment.
+func BenchmarkFailover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := New(Options{Seed: uint64(i + 1), UEs: []UE{{ID: 1, Name: "bench", SNRdB: 26}}})
+		d.Start()
+		d.At(50*time.Millisecond, d.KillActivePHY)
+		d.RunFor(150 * time.Millisecond)
+		if d.Migrations() != 1 {
+			b.Fatal("failover did not complete")
+		}
+		d.Stop()
+	}
+}
+
+// BenchmarkAblations regenerates the design-choice ablations (DESIGN.md §4).
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablations", 0.3) }
+
+// BenchmarkExtL2Upgrade regenerates the §10 L2 checkpoint-restore extension.
+func BenchmarkExtL2Upgrade(b *testing.B) { benchExperiment(b, "extl2", 0.6) }
+
+// BenchmarkExtMIMO regenerates the §10 massive-MIMO state extension.
+func BenchmarkExtMIMO(b *testing.B) { benchExperiment(b, "extmimo", 0.6) }

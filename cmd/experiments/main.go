@@ -1,0 +1,50 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (§8). Each experiment builds its own deployment, runs it on
+// virtual time, and prints the rows/series the paper reports.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig8
+//	experiments -run all -scale 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slingshot/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "experiment id to run, or 'all'")
+		scale = flag.Float64("scale", 1.0, "duration scale in (0,1]; 1 = paper-scale")
+		list  = flag.Bool("list", false, "list experiment ids")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, id := range experiments.List() {
+			fmt.Printf("  %-8s %s\n", id, experiments.Title(id))
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nuse -run <id> or -run all")
+		}
+		return
+	}
+	if *run == "all" {
+		for _, r := range experiments.RunAll(*scale) {
+			fmt.Println(r)
+		}
+		return
+	}
+	r, err := experiments.Run(*run, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(r)
+}

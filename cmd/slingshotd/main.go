@@ -1,0 +1,120 @@
+// Command slingshotd runs a simulated Slingshot vRAN deployment and
+// narrates the resilience events: bring-up, traffic, a PHY failure with
+// in-switch detection and failover, and a planned zero-downtime migration.
+//
+// Usage:
+//
+//	slingshotd [-seconds 4] [-baseline] [-kill-at 1.5] [-migrate-at 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"slingshot/internal/core"
+	"slingshot/internal/orion"
+	"slingshot/internal/sim"
+	"slingshot/internal/traffic"
+	"slingshot/internal/ue"
+)
+
+func main() {
+	var (
+		seconds   = flag.Float64("seconds", 4, "virtual seconds to simulate")
+		baseline  = flag.Bool("baseline", false, "run the no-Slingshot hot-backup baseline")
+		killAt    = flag.Float64("kill-at", 2.5, "kill the active PHY at this time (0 = never)")
+		migrateAt = flag.Float64("migrate-at", 1.2, "planned migration at this time (0 = never; Slingshot only)")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	var d *core.Deployment
+	mode := "slingshot"
+	if *baseline {
+		d = core.NewBaseline(cfg)
+		mode = "baseline (hot-backup vRAN, no Slingshot)"
+	} else {
+		d = core.NewSlingshot(cfg)
+	}
+	say := func(format string, args ...any) {
+		fmt.Printf("[%10v] ", d.Engine.Now())
+		fmt.Printf(format+"\n", args...)
+	}
+	say("deployment: %s; cell %d on PHY server %d (standby %d), L2 on %d",
+		mode, cfg.Cell, cfg.PrimaryServer, cfg.SecondaryServer, cfg.L2Server)
+
+	for id, u := range d.UEs {
+		id := id
+		u.OnStateChange = func(s ue.State) { say("UE %d (%s): %v", id, u.Cfg.Name, s) }
+	}
+	if !*baseline {
+		d.L2Orion.OnMigration = func(ev orion.MigrationEvent) {
+			kind := "planned migration"
+			if ev.Failover {
+				kind = "FAILOVER"
+			}
+			say("orion: %s of cell %d to server %d at slot %d", kind, ev.Cell, ev.ToServer, ev.AtSlot)
+		}
+	}
+	for srv, p := range d.PHYs {
+		srv, p := srv, p
+		p.OnCrash = func(reason string) { say("PHY on server %d crashed: %s", srv, reason) }
+	}
+
+	// Light uplink traffic from every UE, counted at the server.
+	received := map[uint16]int{}
+	d.OnUplink(func(ueID uint16, pkt []byte) { received[ueID]++ })
+	d.Start()
+	for id := range d.UEs {
+		id := id
+		tx := &traffic.UDPSender{Engine: d.Engine, Flow: id, RateBps: 2e6, PktSize: 1000,
+			Send: func(pkt []byte) bool {
+				u := d.UEs[id]
+				if !u.Connected() {
+					return false
+				}
+				u.SendUplink(pkt)
+				return true
+			}}
+		d.Engine.At(100*sim.Millisecond, "traffic", tx.Start)
+	}
+
+	if *killAt > 0 {
+		d.Engine.At(sim.Time(*killAt*float64(sim.Second)), "kill", func() {
+			say("injecting SIGKILL into active PHY (server %d)", d.ActivePHYServer())
+			d.KillActivePHY()
+		})
+	}
+	if *migrateAt > 0 && !*baseline {
+		d.Engine.At(sim.Time(*migrateAt*float64(sim.Second)), "migrate", func() {
+			say("operator requests planned migration")
+			if _, err := d.PlannedMigration(); err != nil {
+				say("migration error: %v", err)
+			}
+		})
+	}
+	// Progress line every second.
+	d.Engine.Every(sim.Second, sim.Second, "progress", func() {
+		total := 0
+		for _, n := range received {
+			total += n
+		}
+		say("active PHY: server %d; uplink packets delivered: %d; detections: %d",
+			d.ActivePHYServer(), total, len(d.Switch.DetectionLog))
+	})
+
+	d.Run(sim.Time(*seconds * float64(sim.Second)))
+	for _, p := range d.PHYs {
+		p.OnCrash = nil // teardown kills are not crashes
+	}
+	d.Stop()
+
+	say("done. switch stats: %d forwarded, %d migrations, %d failures detected",
+		d.Switch.Stats.Forwarded, d.Switch.Stats.MigrationsExecuted, d.Switch.Stats.FailuresDetected)
+	for id, u := range d.UEs {
+		say("UE %d (%s): state=%v attaches=%d rlfs=%d delivered=%d pkts",
+			id, u.Cfg.Name, u.State(), u.Stats.Attaches, u.Stats.RLFs, received[id])
+	}
+}

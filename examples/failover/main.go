@@ -1,0 +1,53 @@
+// Failover: side-by-side comparison of a PHY crash with and without
+// Slingshot, reproducing the paper's headline result — the no-Slingshot
+// baseline disconnects every UE for ~6 seconds while Slingshot's users
+// never notice (§8.1).
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"slingshot"
+)
+
+// run simulates 10 s with a PHY kill at t=2 s and samples connectivity
+// once per second.
+func run(baseline bool) []bool {
+	d := slingshot.New(slingshot.Options{
+		Seed:     7,
+		Baseline: baseline,
+		UEs:      []slingshot.UE{{ID: 1, Name: "phone", SNRdB: 24}},
+	})
+	d.Start()
+	d.At(2*time.Second, d.KillActivePHY)
+	var connected []bool
+	for s := 0; s < 10; s++ {
+		d.RunFor(time.Second)
+		connected = append(connected, d.UEConnected(1))
+	}
+	d.Stop()
+	return connected
+}
+
+func main() {
+	fmt.Println("PHY killed at t=2s. UE connectivity sampled each second:")
+	sling := run(false)
+	base := run(true)
+	fmt.Printf("%-6s %-22s %s\n", "t(s)", "baseline (hot backup)", "slingshot")
+	for s := 0; s < 10; s++ {
+		mark := func(ok bool) string {
+			if ok {
+				return "connected"
+			}
+			return "DISCONNECTED"
+		}
+		fmt.Printf("%-6d %-22s %s\n", s+1, mark(base[s]), mark(sling[s]))
+	}
+	fmt.Println("\nThe baseline reroutes the fronthaul to the backup vRAN but the")
+	fmt.Println("backup has no UE context: every device runs the full ~6.2 s")
+	fmt.Println("reattach procedure. Slingshot's secondary PHY takes over at a")
+	fmt.Println("TTI boundary, so nothing above the PHY notices.")
+}

@@ -1,0 +1,56 @@
+// Stresstest: hammer the deployment with migration storms (§8.4) to show
+// that discarding PHY soft state at every migration does not break
+// connectivity — losing HARQ buffers and SNR filters looks like routine
+// wireless noise to the rest of the stack.
+//
+//	go run ./examples/stresstest
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"slingshot"
+)
+
+func main() {
+	for _, perSecond := range []int{1, 10, 20} {
+		result := storm(perSecond, 10*time.Second)
+		fmt.Println(result)
+	}
+	fmt.Println("\nEvery migration discards the old PHY's HARQ soft buffers and")
+	fmt.Println("SNR filters; MAC retransmissions and the SNR filter's quick")
+	fmt.Println("reconvergence absorb it, exactly as §4 of the paper argues.")
+}
+
+func storm(perSecond int, dur time.Duration) string {
+	d := slingshot.New(slingshot.Options{
+		Seed: uint64(100 + perSecond),
+		UEs:  []slingshot.UE{{ID: 1, Name: "ue", SNRdB: 24}},
+	})
+	var delivered int
+	d.OnUplink(func(ue uint16, pkt []byte) { delivered++ })
+	d.Start()
+
+	period := time.Second / time.Duration(perSecond)
+	next := period
+	var sent int
+	for t := time.Duration(0); t < dur; t += 2 * time.Millisecond {
+		d.RunFor(2 * time.Millisecond)
+		d.SendUplink(1, make([]byte, 500))
+		sent++
+		if t >= next {
+			if err := d.Migrate(); err != nil {
+				panic(err)
+			}
+			next += period
+		}
+	}
+	d.RunFor(200 * time.Millisecond) // drain
+	connected := d.UEConnected(1)
+	migrations := d.Migrations()
+	d.Stop()
+	return fmt.Sprintf(
+		"%2d migrations/s over %v: %d migrations executed, %d/%d packets delivered, UE connected: %v",
+		perSecond, dur, migrations, delivered, sent, connected)
+}

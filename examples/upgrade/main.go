@@ -1,0 +1,65 @@
+// Upgrade: deploy a better PHY build with zero downtime (§8.3). The
+// secondary PHY runs a stronger FEC decoder (more belief-propagation
+// iterations); a planned migration swaps it in mid-traffic and a
+// cell-edge device's throughput improves without any outage.
+//
+//	go run ./examples/upgrade
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"slingshot"
+)
+
+func main() {
+	d := slingshot.New(slingshot.Options{
+		Seed: 11,
+		UEs: []slingshot.UE{
+			{ID: 1, Name: "cell-edge phone", SNRdB: 3.2}, // struggles on the old decoder
+			{ID: 2, Name: "mid-cell laptop", SNRdB: 18},
+		},
+		PrimaryFECIters:   4,  // old build
+		SecondaryFECIters: 12, // upgraded build
+	})
+	received := map[uint16]int{}
+	d.OnUplink(func(ue uint16, pkt []byte) { received[ue]++ })
+	d.Start()
+
+	// Both devices push uplink packets every 1 ms (~4.8 Mbps offered each,
+	// above the cell-edge device's degraded capacity on the old build).
+	pump := func(ms int) {
+		for i := 0; i < ms; i++ {
+			d.RunFor(1 * time.Millisecond)
+			d.SendUplink(1, make([]byte, 600))
+			d.SendUplink(2, make([]byte, 600))
+		}
+		d.RunFor(100 * time.Millisecond) // drain
+	}
+
+	fmt.Println("phase 1: old PHY build (4 FEC iterations)")
+	pump(2000)
+	p1 := map[uint16]int{1: received[1], 2: received[2]}
+	fmt.Printf("  cell-edge phone: %d pkts, laptop: %d pkts\n", p1[1], p1[2])
+
+	fmt.Println("upgrading: planned migration to the 12-iteration build...")
+	if err := d.Migrate(); err != nil {
+		panic(err)
+	}
+	d.RunFor(10 * time.Millisecond)
+	fmt.Printf("  now serving from PHY server %d; migrations executed: %d\n",
+		d.ActivePHYServer(), d.Migrations())
+
+	fmt.Println("phase 2: upgraded PHY build")
+	pump(2000)
+	ph2 := map[uint16]int{1: received[1] - p1[1], 2: received[2] - p1[2]}
+	fmt.Printf("  cell-edge phone: %d pkts (%+d vs phase 1), laptop: %d pkts (%+d)\n",
+		ph2[1], ph2[1]-p1[1], ph2[2], ph2[2]-p1[2])
+
+	fmt.Printf("\nconnectivity held throughout: phone=%v laptop=%v\n",
+		d.UEConnected(1), d.UEConnected(2))
+	fmt.Println("the cell-edge device decodes reliably on the upgraded build;")
+	fmt.Println("the upgrade cost zero downtime (no maintenance window).")
+	d.Stop()
+}

@@ -1,0 +1,3 @@
+module slingshot
+
+go 1.22

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"slingshot/internal/fronthaul"
+	"slingshot/internal/l2"
+	"slingshot/internal/netmodel"
+	"slingshot/internal/phy"
+	"slingshot/internal/switchsim"
+)
+
+// baselineController is the minimal failover glue of the paper's baseline
+// (§8.1): it receives the in-switch failure notification and reroutes the
+// fronthaul to the backup vRAN's PHY. It cannot do more — the backup stack
+// shares no UE state with the failed one, so every UE must run the full
+// reattach procedure.
+type baselineController struct {
+	d    *Deployment
+	addr netmodel.Addr
+}
+
+func (b *baselineController) HandleFrame(f *netmodel.Frame) {
+	if f.Type != netmodel.EtherTypeControl {
+		return
+	}
+	cmd, err := switchsim.DecodeCommand(f.Payload)
+	if err != nil || cmd.Type != switchsim.CmdFailureNotify {
+		return
+	}
+	if cmd.PHY != b.d.Switch.Mapping(uint8(b.d.Cfg.Cell)) {
+		return // backup failed, not the active
+	}
+	b.failover()
+}
+
+func (b *baselineController) failover() {
+	d := b.d
+	cell := uint8(d.Cfg.Cell)
+	target := d.Cfg.SecondaryServer
+	// Reroute the fronthaul at the next slot boundary using the in-switch
+	// middlebox (without it, even reconnecting the RU would need manual
+	// rewiring).
+	boundary := uint64(d.Engine.Now()/phy.TTI) + 2
+	d.Switch.HandleFrame(&netmodel.Frame{
+		Src: b.addr, Dst: netmodel.ControllerAddr(),
+		Type: netmodel.EtherTypeControl,
+		Payload: (&switchsim.Command{
+			Type: switchsim.CmdMigrateOnSlot, RU: cell, PHY: target,
+			Slot: fronthaul.SlotFromCounter(boundary), AbsSlot: boundary,
+		}).Encode(),
+	})
+	// The backup vRAN has no RRC/bearer context for the UEs: each one
+	// must fully reattach (6.2 s measured in §8.1).
+	d.activeL2 = d.backupL2
+	for _, u := range d.UEs {
+		u.ForceReattach()
+	}
+}
+
+// NewBaseline builds the paper's no-Slingshot baseline: two complete,
+// independent vRAN stacks (tightly coupled L2+PHY on each server, no
+// Orion), with the in-switch middlebox used only for failure detection
+// and fronthaul rerouting.
+func NewBaseline(cfg Config) *Deployment {
+	d := newCommon(cfg)
+	d.Slingshot = false
+
+	buildStack := func(server uint8) *l2.L2 {
+		d.addBaselinePHY(server)
+		l2cfg := l2.DefaultConfig(server)
+		if cfg.L2Tweak != nil {
+			cfg.L2Tweak(&l2cfg)
+		}
+		stack := l2.New(d.Engine, l2cfg)
+		p := d.PHYs[server]
+		// Tightly coupled: FAPI over SHM, no middlebox.
+		stack.SendFAPI = p.HandleFAPI
+		p.SendFAPI = stack.HandleFAPI
+		return stack
+	}
+
+	d.L2 = buildStack(cfg.PrimaryServer)
+	d.backupL2 = buildStack(cfg.SecondaryServer)
+	d.activeL2 = d.L2
+
+	d.wireRadio(d.L2)
+
+	d.baselineCtl = &baselineController{d: d, addr: netmodel.OrionAddr(cfg.L2Server)}
+	ctlLink := d.endpointLink(d.baselineCtl.addr, d.baselineCtl)
+	_ = ctlLink
+
+	d.Switch.InstallRU(uint8(cfg.Cell), netmodel.RUAddr(cfg.Cell))
+	d.Switch.SetMapping(uint8(cfg.Cell), cfg.PrimaryServer)
+	d.Switch.ArmDetector(cfg.PrimaryServer, d.baselineCtl.addr)
+	return d
+}
+
+// addBaselinePHY constructs a PHY without a PHY-side Orion (SHM-coupled).
+func (d *Deployment) addBaselinePHY(server uint8) {
+	pcfg := phy.DefaultConfig(server)
+	if iters, ok := d.Cfg.PHYIters[server]; ok {
+		pcfg.FECIters = iters
+	}
+	if d.Cfg.PHYTweak != nil {
+		d.Cfg.PHYTweak(&pcfg)
+	}
+	p := phy.New(d.Engine, pcfg, d.RNG.Fork(uint64(server)))
+	link := d.endpointLink(p.Addr, p)
+	p.SendFronthaul = link.Send
+	d.PHYs[server] = p
+	d.Switch.InstallPHY(server, p.Addr)
+}
+
+// BaselineRecovered reports whether the baseline failover completed (the
+// backup stack is active).
+func (d *Deployment) BaselineRecovered() bool {
+	return d.activeL2 == d.backupL2
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"slingshot/internal/sim"
+)
+
+// TestInvariantSweep runs randomized failover scenarios (varying seed,
+// channel quality, and kill time within the slot) and asserts the
+// properties Slingshot promises regardless of timing:
+//
+//  1. the UE never declares radio link failure (downtime < 50 ms RLF);
+//  2. exactly one detection and one fronthaul migration per kill;
+//  3. the migration executes at a TTI boundary after the kill;
+//  4. the surviving PHY is serving and not crashed.
+func TestInvariantSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	for trial := 0; trial < 12; trial++ {
+		trial := trial
+		rng := sim.NewRNG(uint64(1000 + trial))
+		cfg := DefaultConfig()
+		cfg.Seed = uint64(trial + 1)
+		cfg.UEs = []UESpec{{
+			ID: 1, Name: "sweep-ue",
+			MeanSNRdB: 14 + rng.Float64()*14, // 14..28 dB
+			FadeStd:   0.5 + rng.Float64(),
+			FadeCorr:  0.9,
+		}}
+		d := NewSlingshot(cfg)
+		var delivered int
+		d.OnUplink(func(ue uint16, pkt []byte) { delivered++ })
+		d.Start()
+		stop := d.Engine.Every(20*sim.Millisecond, 5*sim.Millisecond, "gen", func() {
+			d.UEs[1].SendUplink(make([]byte, 300))
+		})
+		// Kill at a random sub-slot offset to cover all boundary phases.
+		killAt := 100*sim.Millisecond + sim.Time(rng.Intn(int(500*sim.Microsecond)))
+		d.Engine.At(killAt, "kill", func() { d.KillActivePHY() })
+		d.Run(600 * sim.Millisecond)
+		stop()
+
+		u := d.UEs[1]
+		if u.Stats.RLFs != 0 {
+			t.Errorf("trial %d: UE declared %d RLFs", trial, u.Stats.RLFs)
+		}
+		if !u.Connected() {
+			t.Errorf("trial %d: UE disconnected", trial)
+		}
+		if len(d.Switch.DetectionLog) != 1 {
+			t.Errorf("trial %d: detections = %d", trial, len(d.Switch.DetectionLog))
+		}
+		if len(d.Switch.MigrationLog) != 1 {
+			t.Errorf("trial %d: migrations = %d", trial, len(d.Switch.MigrationLog))
+		} else {
+			rec := d.Switch.MigrationLog[0]
+			if rec.At <= killAt {
+				t.Errorf("trial %d: migration at %v before kill %v", trial, rec.At, killAt)
+			}
+			if rec.At-killAt > 5*sim.Millisecond {
+				t.Errorf("trial %d: migration took %v after kill", trial, rec.At-killAt)
+			}
+		}
+		if surv := d.PHYs[d.ActivePHYServer()]; surv.Crashed() {
+			t.Errorf("trial %d: serving PHY crashed", trial)
+		}
+		if delivered == 0 {
+			t.Errorf("trial %d: no uplink delivered at all", trial)
+		}
+		d.Stop()
+	}
+}
+
+// TestPlannedMigrationSweep checks the hitless property across random
+// migration phases: back-to-back planned migrations at random offsets
+// never disconnect the UE and always execute exactly once each.
+func TestPlannedMigrationSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	for trial := 0; trial < 8; trial++ {
+		rng := sim.NewRNG(uint64(2000 + trial))
+		cfg := DefaultConfig()
+		cfg.Seed = uint64(trial + 50)
+		cfg.UEs = []UESpec{{ID: 1, Name: "mig-ue", MeanSNRdB: 22, FadeStd: 1, FadeCorr: 0.95}}
+		d := NewSlingshot(cfg)
+		d.Start()
+		n := 2 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			at := sim.Time(100+80*i)*sim.Millisecond + sim.Time(rng.Intn(int(500*sim.Microsecond)))
+			d.Engine.At(at, "migrate", func() {
+				if _, err := d.PlannedMigration(); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		d.Run(sim.Time(100+80*n+200) * sim.Millisecond)
+		if got := len(d.Switch.MigrationLog); got != n {
+			t.Errorf("trial %d: %d migrations executed, want %d", trial, got, n)
+		}
+		if !d.UEs[1].Connected() || d.UEs[1].Stats.RLFs != 0 {
+			t.Errorf("trial %d: UE state broken after %d migrations", trial, n)
+		}
+		// Ping-pong must land on the right server.
+		want := cfg.PrimaryServer
+		if n%2 == 1 {
+			want = cfg.SecondaryServer
+		}
+		if got := d.ActivePHYServer(); got != want {
+			t.Errorf("trial %d: active = %d, want %d after %d migrations", trial, got, want, n)
+		}
+		d.Stop()
+	}
+}

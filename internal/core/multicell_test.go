@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"slingshot/internal/sim"
+)
+
+// crossedConfig builds two cells with crossed placement: cell 0's primary
+// is server 1 (standby 2); cell 1's primary is server 2 (standby 1) — the
+// paper's intended deployment where no server is a dedicated standby.
+func crossedConfig() Config {
+	cfg := DefaultConfig()
+	cfg.UEs = []UESpec{{ID: 1, Name: "cell0-ue", MeanSNRdB: 25, FadeStd: 0.5, FadeCorr: 0.9}}
+	cfg.ExtraCells = []CellSpec{{
+		Cell: 1, Seed: 0xBEEF, Primary: cfg.SecondaryServer, Secondary: cfg.PrimaryServer,
+		UEs: []UESpec{{ID: 2, Name: "cell1-ue", MeanSNRdB: 25, FadeStd: 0.5, FadeCorr: 0.9}},
+	}}
+	return cfg
+}
+
+func TestMultiCellBringUp(t *testing.T) {
+	d := NewSlingshot(crossedConfig())
+	var perUE [3]int
+	d.OnUplink(func(ueID uint16, pkt []byte) { perUE[ueID]++ })
+	d.Start()
+	stop := d.Engine.Every(20*sim.Millisecond, 5*sim.Millisecond, "gen", func() {
+		d.UEs[1].SendUplink(make([]byte, 300))
+		d.UEs[2].SendUplink(make([]byte, 300))
+	})
+	defer stop()
+	d.Run(400 * sim.Millisecond)
+	defer d.Stop()
+
+	if perUE[1] < 50 || perUE[2] < 50 {
+		t.Fatalf("uplink per cell: ue1=%d ue2=%d", perUE[1], perUE[2])
+	}
+	if d.ActivePHYServerOf(0) != d.Cfg.PrimaryServer {
+		t.Fatal("cell 0 not on its primary")
+	}
+	if d.ActivePHYServerOf(1) != d.Cfg.SecondaryServer {
+		t.Fatal("cell 1 not on its (crossed) primary")
+	}
+	// Both PHY processes do real work (each is primary for one cell) —
+	// no dedicated standby server exists.
+	for _, server := range []uint8{d.Cfg.PrimaryServer, d.Cfg.SecondaryServer} {
+		if d.PHYs[server].Stats.WorkUnits == 0 {
+			t.Fatalf("server %d idle despite being a primary", server)
+		}
+	}
+}
+
+func TestServerCrashMigratesOnlyItsCells(t *testing.T) {
+	cfg := crossedConfig()
+	d := NewSlingshot(cfg)
+	d.Start()
+	// Kill server 1: cell 0 (primary there) must fail over to server 2;
+	// cell 1 (already on server 2) must be unaffected.
+	d.Engine.At(100*sim.Millisecond, "kill", func() { d.KillServer(cfg.PrimaryServer) })
+	d.Run(400 * sim.Millisecond)
+	defer d.Stop()
+
+	if got := d.ActivePHYServerOf(0); got != cfg.SecondaryServer {
+		t.Fatalf("cell 0 active = %d, want %d", got, cfg.SecondaryServer)
+	}
+	if got := d.ActivePHYServerOf(1); got != cfg.SecondaryServer {
+		t.Fatalf("cell 1 active = %d (must be untouched on %d)", got, cfg.SecondaryServer)
+	}
+	if migrations := len(d.Switch.MigrationLog); migrations != 1 {
+		t.Fatalf("switch executed %d migrations, want 1 (cell 0 only)", migrations)
+	}
+	for _, id := range []uint16{1, 2} {
+		if !d.UEs[id].Connected() {
+			t.Fatalf("UE %d disconnected", id)
+		}
+	}
+}
+
+func TestDoubleFailureWithSpare(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UEs = []UESpec{{ID: 1, Name: "ue", MeanSNRdB: 25, FadeStd: 0.5, FadeCorr: 0.9}}
+	cfg.SpareServer = 3
+	d := NewSlingshot(cfg)
+	var count int
+	d.OnUplink(func(ueID uint16, pkt []byte) { count++ })
+	d.Start()
+	stop := d.Engine.Every(20*sim.Millisecond, 5*sim.Millisecond, "gen", func() {
+		d.UEs[1].SendUplink(make([]byte, 300))
+	})
+	defer stop()
+
+	// First failure: primary dies, standby (server 2) takes over.
+	d.Engine.At(100*sim.Millisecond, "kill1", func() { d.KillActivePHY() })
+	// Operator provisions the spare as the new standby from Orion's
+	// stored init request (§6.3).
+	d.Engine.At(200*sim.Millisecond, "spare", func() {
+		if err := d.ProvisionSpare(cfg.Cell); err != nil {
+			t.Error(err)
+		}
+	})
+	// Second failure: the new active dies too; the spare must take over.
+	d.Engine.At(400*sim.Millisecond, "kill2", func() { d.KillActivePHY() })
+	d.Run(800 * sim.Millisecond)
+	defer d.Stop()
+
+	if got := d.ActivePHYServer(); got != cfg.SpareServer {
+		t.Fatalf("after double failure active = %d, want spare %d", got, cfg.SpareServer)
+	}
+	if !d.UEs[1].Connected() {
+		t.Fatal("UE disconnected across double failure")
+	}
+	if d.UEs[1].Stats.RLFs != 0 {
+		t.Fatalf("RLFs = %d", d.UEs[1].Stats.RLFs)
+	}
+	if count < 100 {
+		t.Fatalf("delivered %d packets across two failovers (~156 sent)", count)
+	}
+	if len(d.Switch.DetectionLog) < 2 {
+		t.Fatalf("detections = %d, want 2", len(d.Switch.DetectionLog))
+	}
+}
+
+func TestMigrationRefusedWithoutLiveStandby(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UEs = []UESpec{{ID: 1, Name: "ue", MeanSNRdB: 25, FadeStd: 0.5, FadeCorr: 0.9}}
+	d := NewSlingshot(cfg)
+	d.Start()
+	d.Engine.At(100*sim.Millisecond, "kill", func() { d.KillActivePHY() })
+	d.Run(300 * sim.Millisecond)
+	defer d.Stop()
+	// The old primary is dead and no spare exists: a planned migration
+	// back must be refused rather than sending the cell to a corpse.
+	if _, err := d.PlannedMigration(); err == nil {
+		t.Fatal("migration to a dead standby was accepted")
+	}
+}
+
+func TestMultiCellPlannedMigrationIndependent(t *testing.T) {
+	d := NewSlingshot(crossedConfig())
+	d.Start()
+	d.Engine.At(100*sim.Millisecond, "migrate", func() {
+		if _, err := d.PlannedMigrationOf(1); err != nil {
+			t.Error(err)
+		}
+	})
+	d.Run(300 * sim.Millisecond)
+	defer d.Stop()
+	if got := d.ActivePHYServerOf(1); got != d.Cfg.PrimaryServer {
+		t.Fatalf("cell 1 active = %d after migration", got)
+	}
+	if got := d.ActivePHYServerOf(0); got != d.Cfg.PrimaryServer {
+		t.Fatalf("cell 0 moved unexpectedly: %d", got)
+	}
+}

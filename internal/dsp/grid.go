@@ -1,0 +1,111 @@
+package dsp
+
+import "fmt"
+
+// OFDM numerology for the cell configuration the paper evaluates:
+// 100 MHz bandwidth at 30 kHz subcarrier spacing (5G numerology µ=1),
+// giving 500 µs slots of 14 OFDM symbols and 273 physical resource blocks.
+const (
+	SubcarriersPerPRB = 12
+	SymbolsPerSlot    = 14
+	// MaxPRB is the PRB count of a 100 MHz / 30 kHz carrier.
+	MaxPRB = 273
+	// PilotSpacing places one pilot every PilotSpacing resource elements
+	// of an allocation (DM-RS-like density).
+	PilotSpacing = 8
+)
+
+// Allocation describes one UE's resource assignment in a slot.
+type Allocation struct {
+	UEID     uint16
+	StartPRB int
+	NumPRB   int
+	Mod      Modulation
+}
+
+// REs returns the total resource elements of the allocation.
+func (a Allocation) REs() int {
+	return a.NumPRB * SubcarriersPerPRB * SymbolsPerSlot
+}
+
+// PilotREs returns how many REs carry pilots.
+func (a Allocation) PilotREs() int {
+	return a.REs() / PilotSpacing
+}
+
+// DataREs returns how many REs carry data symbols.
+func (a Allocation) DataREs() int {
+	return a.REs() - a.PilotREs()
+}
+
+// DataBits returns the number of coded bits the allocation can carry.
+func (a Allocation) DataBits() int {
+	return a.DataREs() * a.Mod.BitsPerSymbol()
+}
+
+// Validate checks the allocation against grid bounds.
+func (a Allocation) Validate() error {
+	if a.NumPRB <= 0 {
+		return fmt.Errorf("dsp: allocation with %d PRBs", a.NumPRB)
+	}
+	if a.StartPRB < 0 || a.StartPRB+a.NumPRB > MaxPRB {
+		return fmt.Errorf("dsp: allocation [%d, %d) outside grid of %d PRBs",
+			a.StartPRB, a.StartPRB+a.NumPRB, MaxPRB)
+	}
+	if !a.Mod.Valid() {
+		return fmt.Errorf("dsp: invalid modulation %d", a.Mod)
+	}
+	return nil
+}
+
+// Grid tracks PRB occupancy for one slot, rejecting overlapping
+// allocations — the scheduler-side invariant the L2 must maintain.
+type Grid struct {
+	used   [MaxPRB]bool
+	allocs []Allocation
+}
+
+// NewGrid returns an empty slot grid.
+func NewGrid() *Grid { return &Grid{} }
+
+// Place adds an allocation, failing on overlap or bounds violations.
+func (g *Grid) Place(a Allocation) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	for i := a.StartPRB; i < a.StartPRB+a.NumPRB; i++ {
+		if g.used[i] {
+			return fmt.Errorf("dsp: PRB %d already allocated", i)
+		}
+	}
+	for i := a.StartPRB; i < a.StartPRB+a.NumPRB; i++ {
+		g.used[i] = true
+	}
+	g.allocs = append(g.allocs, a)
+	return nil
+}
+
+// Allocations returns the placed allocations in placement order.
+func (g *Grid) Allocations() []Allocation { return g.allocs }
+
+// FreePRBs returns the number of unallocated PRBs.
+func (g *Grid) FreePRBs() int {
+	n := 0
+	for _, u := range g.used {
+		if !u {
+			n++
+		}
+	}
+	return n
+}
+
+// PRBsForBits returns the minimum PRB count able to carry codedBits at the
+// given modulation.
+func PRBsForBits(codedBits int, m Modulation) int {
+	perPRB := Allocation{NumPRB: 1, Mod: m}.DataBits()
+	n := (codedBits + perPRB - 1) / perPRB
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,154 @@
+// Package dsp implements the signal-processing substrate of the simulated
+// PHY: Gray-mapped QAM modulation with max-log soft demodulation, AWGN and
+// block-fading channel models, pilot-based channel estimation, and the
+// OFDM resource-grid bookkeeping used to size fronthaul payloads.
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Modulation identifies a QAM constellation.
+type Modulation uint8
+
+// Supported constellations (bits per symbol in parentheses).
+const (
+	QPSK   Modulation = 2 // 4-QAM (2)
+	QAM16  Modulation = 4 // (4)
+	QAM64  Modulation = 6 // (6)
+	QAM256 Modulation = 8 // (8)
+)
+
+// BitsPerSymbol returns the number of bits carried by one symbol.
+func (m Modulation) BitsPerSymbol() int { return int(m) }
+
+func (m Modulation) String() string {
+	switch m {
+	case QPSK:
+		return "QPSK"
+	case QAM16:
+		return "16QAM"
+	case QAM64:
+		return "64QAM"
+	case QAM256:
+		return "256QAM"
+	default:
+		return fmt.Sprintf("Modulation(%d)", uint8(m))
+	}
+}
+
+// Valid reports whether m is a supported constellation.
+func (m Modulation) Valid() bool {
+	switch m {
+	case QPSK, QAM16, QAM64, QAM256:
+		return true
+	}
+	return false
+}
+
+// pamLevels returns the Gray-mapped PAM amplitude table for bitsPerAxis
+// bits: index = bit pattern (MSB first), value = amplitude before
+// normalization. Levels are the odd integers -L+1..L-1.
+func pamLevels(bitsPerAxis int) []float64 {
+	n := 1 << bitsPerAxis
+	levels := make([]float64, n)
+	for pattern := 0; pattern < n; pattern++ {
+		// Gray decode: position = gray^-1(pattern).
+		g := pattern
+		b := 0
+		for g != 0 {
+			b ^= g
+			g >>= 1
+		}
+		levels[pattern] = float64(2*b - n + 1)
+	}
+	return levels
+}
+
+// normFactor returns the scale making the constellation unit average power.
+func normFactor(bitsPerAxis int) float64 {
+	n := 1 << bitsPerAxis
+	// Mean of squares of odd integers -n+1..n-1 is (n^2-1)/3 per axis;
+	// two axes double it.
+	return math.Sqrt(2 * float64(n*n-1) / 3)
+}
+
+// Modulate maps bits (one bit per byte, 0/1, MSB-first per symbol) onto
+// unit-average-power QAM symbols. len(bits) must be a multiple of
+// m.BitsPerSymbol().
+func Modulate(bits []byte, m Modulation) []complex128 {
+	bps := m.BitsPerSymbol()
+	if len(bits)%bps != 0 {
+		panic(fmt.Sprintf("dsp: %d bits not a multiple of %d", len(bits), bps))
+	}
+	half := bps / 2
+	levels := pamLevels(half)
+	scale := 1 / normFactor(half)
+	out := make([]complex128, len(bits)/bps)
+	for s := range out {
+		var iBits, qBits int
+		for b := 0; b < half; b++ {
+			iBits = iBits<<1 | int(bits[s*bps+b])
+			qBits = qBits<<1 | int(bits[s*bps+half+b])
+		}
+		out[s] = complex(levels[iBits]*scale, levels[qBits]*scale)
+	}
+	return out
+}
+
+// Demodulate computes per-bit LLRs (positive = bit 0 likely) from received
+// symbols using the exact max-log metric over each PAM axis. noiseVar is
+// the complex noise variance per symbol (total, both axes).
+func Demodulate(symbols []complex128, m Modulation, noiseVar float64) []float64 {
+	bps := m.BitsPerSymbol()
+	half := bps / 2
+	levels := pamLevels(half)
+	scale := 1 / normFactor(half)
+	if noiseVar <= 0 {
+		noiseVar = 1e-9
+	}
+	// Per-axis noise variance.
+	sigma2 := noiseVar / 2
+
+	llr := make([]float64, len(symbols)*bps)
+	axisLLR := func(y float64, out []float64) {
+		// For each bit position, max-log LLR =
+		// (min_{x: bit=1} (y-x)^2 - min_{x: bit=0} (y-x)^2) / (2 sigma2).
+		for b := 0; b < half; b++ {
+			min0, min1 := math.Inf(1), math.Inf(1)
+			for pattern, lv := range levels {
+				d := y - lv*scale
+				d2 := d * d
+				if pattern&(1<<(half-1-b)) == 0 {
+					if d2 < min0 {
+						min0 = d2
+					}
+				} else if d2 < min1 {
+					min1 = d2
+				}
+			}
+			out[b] = (min1 - min0) / (2 * sigma2)
+		}
+	}
+	scratch := make([]float64, half)
+	for s, sym := range symbols {
+		axisLLR(real(sym), scratch)
+		copy(llr[s*bps:], scratch)
+		axisLLR(imag(sym), scratch)
+		copy(llr[s*bps+half:], scratch)
+	}
+	return llr
+}
+
+// HardDemodulate returns hard bit decisions (0/1 per byte) for symbols.
+func HardDemodulate(symbols []complex128, m Modulation) []byte {
+	llr := Demodulate(symbols, m, 1)
+	bits := make([]byte, len(llr))
+	for i, v := range llr {
+		if v < 0 {
+			bits[i] = 1
+		}
+	}
+	return bits
+}

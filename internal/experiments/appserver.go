@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"slingshot/internal/core"
+	"slingshot/internal/sim"
+)
+
+// coreDelay is the fixed one-way delay between the edge datacenter and the
+// application server (through the 5G core and metro network). Tuned so
+// end-to-end UE ping lands near the paper's ~22.8 ms median (§8.7).
+const coreDelay = 9 * sim.Millisecond
+
+// appServer is the experiment-side application endpoint: it talks to UEs
+// through the deployment with the core-network delay applied both ways.
+type appServer struct {
+	d *core.Deployment
+	// handlers receive uplink packets per UE after the core delay.
+	handlers map[uint16][]func([]byte)
+}
+
+func newAppServer(d *core.Deployment) *appServer {
+	a := &appServer{d: d, handlers: make(map[uint16][]func([]byte))}
+	d.OnUplink(func(ueID uint16, pkt []byte) {
+		data := append([]byte(nil), pkt...)
+		d.Engine.After(coreDelay, "core.ul", func() {
+			for _, h := range a.handlers[ueID] {
+				h(data)
+			}
+		})
+	})
+	return a
+}
+
+// onUplink registers a server-side handler for a UE's uplink packets.
+func (a *appServer) onUplink(ue uint16, h func([]byte)) {
+	a.handlers[ue] = append(a.handlers[ue], h)
+}
+
+// sendDownlink returns a SendFunc pushing packets towards a UE.
+func (a *appServer) sendDownlink(ue uint16) func([]byte) bool {
+	return func(pkt []byte) bool {
+		data := append([]byte(nil), pkt...)
+		a.d.Engine.After(coreDelay, "core.dl", func() {
+			a.d.SendDownlink(ue, data)
+		})
+		return true
+	}
+}
+
+// ueUplink returns a SendFunc transmitting from a UE.
+func ueUplink(d *core.Deployment, ue uint16) func([]byte) bool {
+	u := d.UEs[ue]
+	return func(pkt []byte) bool {
+		if !u.Connected() {
+			return false
+		}
+		u.SendUplink(append([]byte(nil), pkt...))
+		return true
+	}
+}

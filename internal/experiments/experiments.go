@@ -1,0 +1,81 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§8). Each experiment is a self-contained harness: it builds
+// the workload and deployment it needs, runs the simulation, and prints
+// the same rows/series the paper reports. EXPERIMENTS.md records the
+// paper-vs-measured comparison for each.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is one experiment's rendered outcome.
+type Result struct {
+	ID      string
+	Title   string
+	Output  string
+	Summary string
+}
+
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	b.WriteString(r.Output)
+	if r.Summary != "" {
+		fmt.Fprintf(&b, "\n%s\n", r.Summary)
+	}
+	return b.String()
+}
+
+// Runner produces a Result. Scale in (0,1] shrinks long experiments for
+// quick runs and benchmarks (1 = paper-duration).
+type Runner func(scale float64) Result
+
+var registry = map[string]struct {
+	title string
+	run   Runner
+}{}
+
+func register(id, title string, run Runner) {
+	registry[id] = struct {
+		title string
+		run   Runner
+	}{title, run}
+}
+
+// List returns the registered experiment ids, sorted.
+func List() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Title returns an experiment's title.
+func Title(id string) string { return registry[id].title }
+
+// Run executes one experiment at the given scale.
+func Run(id string, scale float64) (Result, error) {
+	ent, ok := registry[id]
+	if !ok {
+		return Result{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, List())
+	}
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	return ent.run(scale), nil
+}
+
+// RunAll executes every experiment.
+func RunAll(scale float64) []Result {
+	out := make([]Result, 0, len(registry))
+	for _, id := range List() {
+		r, _ := Run(id, scale)
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryListsAll(t *testing.T) {
+	want := []string{"ablations", "extl2", "extmimo", "fig10a", "fig10b", "fig11", "fig12", "fig3",
+		"fig8", "fig9", "sec82", "sec85", "sec86", "table2"}
+	got := List()
+	if len(got) != len(want) {
+		t.Fatalf("List = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List = %v, want %v", got, want)
+		}
+		if Title(got[i]) == "" {
+			t.Fatalf("no title for %s", got[i])
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("nonexistent", 1); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{ID: "x", Title: "T", Output: "body\n", Summary: "sum"}
+	s := r.String()
+	for _, want := range []string{"== x: T ==", "body", "sum"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Result.String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	r, err := Run("fig3", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Output, "RDMA") || !strings.Contains(r.Output, "TCP") {
+		t.Fatal("fig3 missing transports")
+	}
+	if !strings.Contains(r.Summary, "crashed in 40/40") {
+		t.Fatalf("FlexRAN did not crash in all runs: %s", r.Summary)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	r, err := Run("fig8", 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline must show a multi-second outage; Slingshot must not.
+	if !strings.Contains(r.Summary, "Slingshot degraded seconds: 0") {
+		t.Fatalf("Slingshot video degraded: %s", r.Summary)
+	}
+	if strings.Contains(r.Summary, "outage ≈ 0 s") {
+		t.Fatalf("baseline shows no outage: %s", r.Summary)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	r, err := Run("fig9", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Output, "OnePlus") {
+		t.Fatal("fig9 missing UEs")
+	}
+	// The spike must stay within natural-fluctuation territory (<25 ms).
+	if strings.Contains(r.Summary, "spike above median: -") {
+		t.Fatal("negative spike")
+	}
+}
+
+func TestFig10bShape(t *testing.T) {
+	r, err := Run("fig10b", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Summary, "planned migration: pre") {
+		t.Fatalf("summary: %s", r.Summary)
+	}
+	// Planned migrations must show zero blackout bins.
+	for _, line := range strings.Split(r.Summary, "\n") {
+		if strings.Contains(line, "planned migration") && !strings.Contains(line, "zero-bins 0") {
+			t.Fatalf("planned migration dropped traffic: %s", line)
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	r, err := Run("fig12", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Summary, "PASS") {
+		t.Fatalf("Orion latency bound violated: %s", r.Summary)
+	}
+}
+
+func TestSec82Shape(t *testing.T) {
+	r, err := Run("sec82", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Summary, "PASS") {
+		t.Fatalf("failover timeline out of bounds: %s\n%s", r.Summary, r.Output)
+	}
+}
+
+func TestSec85Shape(t *testing.T) {
+	r, err := Run("sec85", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Summary, "secondary compute = 0.00%") {
+		t.Fatalf("secondary not idle: %s", r.Summary)
+	}
+}
+
+func TestSec86Shape(t *testing.T) {
+	r, err := Run("sec86", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Summary, "PASS") {
+		t.Fatalf("inter-packet gap check failed: %s", r.Summary)
+	}
+	for _, res := range []string{"5.2%", "10.4%", "14.1%", "9.5%"} {
+		if !strings.Contains(r.Output, res) {
+			t.Fatalf("resource table missing %s:\n%s", res, r.Output)
+		}
+	}
+}
+
+func TestTable2SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table2 is slow")
+	}
+	r, err := Run("table2", 0.084) // ~5s per rate
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Output, "Interrupted HARQ seqs") {
+		t.Fatalf("table2 output:\n%s", r.Output)
+	}
+}
+
+func TestFig11SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig11 is slow")
+	}
+	r, err := Run("fig11", 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Output, "Raspberry Pi") {
+		t.Fatalf("fig11 output:\n%s", r.Output)
+	}
+}

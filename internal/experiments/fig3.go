@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"slingshot/internal/metrics"
+	"slingshot/internal/sim"
+	"slingshot/internal/vmm"
+)
+
+func init() {
+	register("fig3", "VM pause time while live-migrating a running PHY (TCP vs RDMA)", runFig3)
+}
+
+// runFig3 reproduces Figure 3: the CDF of VM pause time across 80 pre-copy
+// live migrations of a FlexRAN-like guest, over TCP and RDMA transports,
+// plus the observation that the realtime PHY crashes in every run.
+func runFig3(scale float64) Result {
+	runs := int(80 * scale)
+	if runs < 10 {
+		runs = 10
+	}
+	var b strings.Builder
+	var summary []string
+
+	for _, link := range []vmm.LinkProfile{vmm.TCP, vmm.RDMA} {
+		m := vmm.New(link, vmm.FlexRANWorkload(), sim.NewRNG(0xF13+uint64(len(link.Name))))
+		results := m.RunN(runs)
+		s := metrics.NewSample()
+		crashes := 0
+		for _, r := range results {
+			s.Add(r.PauseTime.Millis())
+			if r.Crashed {
+				crashes++
+			}
+		}
+		fmt.Fprintf(&b, "%s pause-time CDF (%d runs):\n", link.Name, runs)
+		fmt.Fprintf(&b, "  pause_ms  cdf\n")
+		for _, frac := range []float64{5, 10, 25, 50, 75, 90, 95, 100} {
+			fmt.Fprintf(&b, "  %8.1f  %.2f\n", s.Percentile(frac), frac/100)
+		}
+		summary = append(summary, fmt.Sprintf(
+			"%s: median pause %.0f ms, PHY crashed in %d/%d runs",
+			link.Name, s.Median(), crashes, runs))
+	}
+	return Result{
+		ID:     "fig3",
+		Title:  Title("fig3"),
+		Output: b.String(),
+		Summary: strings.Join(summary, "; ") +
+			" (paper: 244 ms median, crashes in all runs)",
+	}
+}

@@ -1,0 +1,218 @@
+// Package fapi implements the L2–PHY Functional API (FAPI): the message
+// vocabulary the MAC uses to drive per-slot PHY work, and the PHY uses to
+// return decoded data and CRC results. It is the "narrow waist" interface
+// that Slingshot's Orion middlebox interposes on (§6 of the paper).
+//
+// The package defines typed messages with a compact binary codec so the
+// same message can cross an in-process SHM channel or the inter-Orion
+// Ethernet transport unchanged. "Null" UL_CONFIG/DL_CONFIG requests —
+// valid requests with zero UE PDUs — are first-class: they are how Orion
+// keeps a hot-standby secondary PHY alive at negligible cost (§6.2).
+package fapi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"slingshot/internal/dsp"
+	"slingshot/internal/fronthaul"
+)
+
+// Kind discriminates FAPI message types.
+type Kind uint8
+
+// FAPI message kinds. The numbering is private to this implementation;
+// the real specification's message ids differ but the vocabulary matches.
+const (
+	KindConfigRequest Kind = iota + 1
+	KindConfigResponse
+	KindStartRequest
+	KindStopRequest
+	KindSlotIndication
+	KindDLConfig
+	KindULConfig
+	KindTxData
+	KindRxData
+	KindCRCIndication
+	KindErrorIndication
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindConfigRequest:
+		return "CONFIG.request"
+	case KindConfigResponse:
+		return "CONFIG.response"
+	case KindStartRequest:
+		return "START.request"
+	case KindStopRequest:
+		return "STOP.request"
+	case KindSlotIndication:
+		return "SLOT.indication"
+	case KindDLConfig:
+		return "DL_CONFIG.request"
+	case KindULConfig:
+		return "UL_CONFIG.request"
+	case KindTxData:
+		return "TX_DATA.request"
+	case KindRxData:
+		return "RX_DATA.indication"
+	case KindCRCIndication:
+		return "CRC.indication"
+	case KindErrorIndication:
+		return "ERROR.indication"
+	case KindUCIIndication:
+		return "UCI.indication"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Message is implemented by every FAPI message.
+type Message interface {
+	Kind() Kind
+	// Cell returns the cell (== RU) the message belongs to.
+	Cell() uint16
+	// AbsSlot returns the absolute slot counter the message applies to
+	// (0 for slot-less messages like CONFIG).
+	AbsSlot() uint64
+	encodeBody(b []byte) []byte
+	decodeBody(b []byte) error
+}
+
+// PDU describes one UE's work item in a UL_CONFIG or DL_CONFIG request:
+// the resource allocation, modulation, HARQ identity, and transport-block
+// size the PHY must encode or decode.
+type PDU struct {
+	UEID    uint16
+	HARQID  uint8
+	Rv      uint8 // redundancy version: 0 = initial transmission
+	NewData bool  // true = flush HARQ buffer, initial transmission
+	Alloc   dsp.Allocation
+	TBBytes uint32
+}
+
+const pduWire = 2 + 1 + 1 + 1 + 2 + 2 + 2 + 1 + 4
+
+func (p *PDU) encode(b []byte) []byte {
+	var buf [pduWire]byte
+	binary.BigEndian.PutUint16(buf[0:2], p.UEID)
+	buf[2] = p.HARQID
+	buf[3] = p.Rv
+	if p.NewData {
+		buf[4] = 1
+	}
+	binary.BigEndian.PutUint16(buf[5:7], p.Alloc.UEID)
+	binary.BigEndian.PutUint16(buf[7:9], uint16(p.Alloc.StartPRB))
+	binary.BigEndian.PutUint16(buf[9:11], uint16(p.Alloc.NumPRB))
+	buf[11] = uint8(p.Alloc.Mod)
+	binary.BigEndian.PutUint32(buf[12:16], p.TBBytes)
+	return append(b, buf[:]...)
+}
+
+func (p *PDU) decode(b []byte) ([]byte, error) {
+	if len(b) < pduWire {
+		return nil, ErrTruncated
+	}
+	p.UEID = binary.BigEndian.Uint16(b[0:2])
+	p.HARQID = b[2]
+	p.Rv = b[3]
+	p.NewData = b[4] == 1
+	p.Alloc.UEID = binary.BigEndian.Uint16(b[5:7])
+	p.Alloc.StartPRB = int(binary.BigEndian.Uint16(b[7:9]))
+	p.Alloc.NumPRB = int(binary.BigEndian.Uint16(b[9:11]))
+	p.Alloc.Mod = dsp.Modulation(b[11])
+	p.TBBytes = binary.BigEndian.Uint32(b[12:16])
+	return b[pduWire:], nil
+}
+
+// TBPayload carries one UE's transport-block bytes in TX_DATA/RX_DATA.
+type TBPayload struct {
+	UEID   uint16
+	HARQID uint8
+	Data   []byte
+}
+
+// CRCResult is one UE's decode outcome in a CRC.indication.
+type CRCResult struct {
+	UEID   uint16
+	HARQID uint8
+	OK     bool
+	SNRdB  float32 // PHY's post-equalization SNR estimate
+}
+
+// Codec errors.
+var (
+	ErrTruncated   = errors.New("fapi: truncated message")
+	ErrUnknownKind = errors.New("fapi: unknown message kind")
+)
+
+// header is shared by all messages on the wire:
+// kind(1) cell(2) absSlot(8) bodyLen(4).
+const headerWire = 1 + 2 + 8 + 4
+
+// Encode serializes any message to wire format.
+func Encode(m Message) []byte {
+	body := m.encodeBody(nil)
+	out := make([]byte, headerWire, headerWire+len(body))
+	out[0] = byte(m.Kind())
+	binary.BigEndian.PutUint16(out[1:3], m.Cell())
+	binary.BigEndian.PutUint64(out[3:11], m.AbsSlot())
+	binary.BigEndian.PutUint32(out[11:15], uint32(len(body)))
+	return append(out, body...)
+}
+
+// Decode parses one wire-format message.
+func Decode(data []byte) (Message, error) {
+	if len(data) < headerWire {
+		return nil, ErrTruncated
+	}
+	kind := Kind(data[0])
+	cell := binary.BigEndian.Uint16(data[1:3])
+	abs := binary.BigEndian.Uint64(data[3:11])
+	bodyLen := int(binary.BigEndian.Uint32(data[11:15]))
+	if len(data) < headerWire+bodyLen {
+		return nil, ErrTruncated
+	}
+	body := data[headerWire : headerWire+bodyLen]
+
+	var m Message
+	switch kind {
+	case KindConfigRequest:
+		m = &ConfigRequest{CellID: cell}
+	case KindConfigResponse:
+		m = &ConfigResponse{CellID: cell}
+	case KindStartRequest:
+		m = &StartRequest{CellID: cell}
+	case KindStopRequest:
+		m = &StopRequest{CellID: cell}
+	case KindSlotIndication:
+		m = &SlotIndication{CellID: cell, Slot: abs}
+	case KindDLConfig:
+		m = &DLConfig{CellID: cell, Slot: abs}
+	case KindULConfig:
+		m = &ULConfig{CellID: cell, Slot: abs}
+	case KindTxData:
+		m = &TxData{CellID: cell, Slot: abs}
+	case KindRxData:
+		m = &RxData{CellID: cell, Slot: abs}
+	case KindCRCIndication:
+		m = &CRCIndication{CellID: cell, Slot: abs}
+	case KindErrorIndication:
+		m = &ErrorIndication{CellID: cell, Slot: abs}
+	case KindUCIIndication:
+		m = &UCIIndication{CellID: cell, Slot: abs}
+	default:
+		return nil, ErrUnknownKind
+	}
+	if err := m.decodeBody(body); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SlotID returns the wrapped on-air slot identifier for a message slot.
+func SlotID(absSlot uint64) fronthaul.SlotID {
+	return fronthaul.SlotFromCounter(absSlot)
+}

@@ -1,0 +1,245 @@
+package fapi
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"slingshot/internal/dsp"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k := KindConfigRequest; k <= KindErrorIndication; k++ {
+		if s := k.String(); s == "" || s[0] == 'K' {
+			t.Errorf("Kind(%d).String() = %q", k, s)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	got, err := Decode(Encode(m))
+	if err != nil {
+		t.Fatalf("decode %v: %v", m.Kind(), err)
+	}
+	if got.Kind() != m.Kind() || got.Cell() != m.Cell() || got.AbsSlot() != m.AbsSlot() {
+		t.Fatalf("header mismatch: %v vs %v", got, m)
+	}
+	return got
+}
+
+func TestConfigRequestRoundTrip(t *testing.T) {
+	m := &ConfigRequest{CellID: 3, NumPRB: 273, MantissaBits: 9, FECIters: 8, Seed: 0xDEADBEEF}
+	got := roundTrip(t, m).(*ConfigRequest)
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("got %+v want %+v", got, m)
+	}
+}
+
+func TestConfigResponseRoundTrip(t *testing.T) {
+	for _, ok := range []bool{true, false} {
+		m := &ConfigResponse{CellID: 1, OK: ok}
+		got := roundTrip(t, m).(*ConfigResponse)
+		if got.OK != ok {
+			t.Fatalf("OK = %v", got.OK)
+		}
+	}
+}
+
+func TestStartStopSlotIndication(t *testing.T) {
+	roundTrip(t, &StartRequest{CellID: 2})
+	roundTrip(t, &StopRequest{CellID: 2})
+	m := roundTrip(t, &SlotIndication{CellID: 2, Slot: 12345}).(*SlotIndication)
+	if m.Slot != 12345 {
+		t.Fatalf("Slot = %d", m.Slot)
+	}
+}
+
+func samplePDU(ue uint16) PDU {
+	return PDU{
+		UEID: ue, HARQID: 3, Rv: 1, NewData: true,
+		Alloc: dsp.Allocation{
+			UEID: ue, StartPRB: 10, NumPRB: 20, Mod: dsp.QAM64,
+		},
+		TBBytes: 1500,
+	}
+}
+
+func TestULDLConfigRoundTrip(t *testing.T) {
+	ul := &ULConfig{CellID: 4, Slot: 99, PDUs: []PDU{samplePDU(1), samplePDU(2)}}
+	got := roundTrip(t, ul).(*ULConfig)
+	if !reflect.DeepEqual(got.PDUs, ul.PDUs) {
+		t.Fatalf("UL PDUs: %+v vs %+v", got.PDUs, ul.PDUs)
+	}
+	if got.Null() {
+		t.Fatal("non-empty ULConfig reported Null")
+	}
+	dl := &DLConfig{CellID: 4, Slot: 100, PDUs: []PDU{samplePDU(7)}}
+	gotDL := roundTrip(t, dl).(*DLConfig)
+	if !reflect.DeepEqual(gotDL.PDUs, dl.PDUs) {
+		t.Fatalf("DL PDUs mismatch")
+	}
+}
+
+func TestNullConfigs(t *testing.T) {
+	ul := NullUL(5, 77)
+	if !ul.Null() || ul.CellID != 5 || ul.Slot != 77 {
+		t.Fatalf("NullUL: %+v", ul)
+	}
+	got := roundTrip(t, ul).(*ULConfig)
+	if !got.Null() {
+		t.Fatal("null UL lost nullness over the wire")
+	}
+	dl := NullDL(5, 78)
+	if !dl.Null() {
+		t.Fatal("NullDL not null")
+	}
+	gotDL := roundTrip(t, dl).(*DLConfig)
+	if !gotDL.Null() {
+		t.Fatal("null DL lost nullness over the wire")
+	}
+}
+
+func TestTxRxDataRoundTrip(t *testing.T) {
+	tx := &TxData{CellID: 6, Slot: 10, Payloads: []TBPayload{
+		{UEID: 1, HARQID: 2, Data: []byte("hello world")},
+		{UEID: 2, HARQID: 0, Data: bytes.Repeat([]byte{0xAB}, 1000)},
+	}}
+	got := roundTrip(t, tx).(*TxData)
+	if !reflect.DeepEqual(got.Payloads, tx.Payloads) {
+		t.Fatal("TxData payloads mismatch")
+	}
+	rx := &RxData{CellID: 6, Slot: 11, Payloads: []TBPayload{{UEID: 9, Data: []byte{1}}}}
+	gotRx := roundTrip(t, rx).(*RxData)
+	if !reflect.DeepEqual(gotRx.Payloads, rx.Payloads) {
+		t.Fatal("RxData payloads mismatch")
+	}
+}
+
+func TestCRCIndicationRoundTrip(t *testing.T) {
+	m := &CRCIndication{CellID: 7, Slot: 55, Results: []CRCResult{
+		{UEID: 1, HARQID: 3, OK: true, SNRdB: 17.25},
+		{UEID: 2, HARQID: 0, OK: false, SNRdB: -3.5},
+	}}
+	got := roundTrip(t, m).(*CRCIndication)
+	for i, r := range got.Results {
+		want := m.Results[i]
+		if r.UEID != want.UEID || r.HARQID != want.HARQID || r.OK != want.OK {
+			t.Fatalf("result %d: %+v vs %+v", i, r, want)
+		}
+		if math.Abs(float64(r.SNRdB-want.SNRdB)) > 1.0/256 {
+			t.Fatalf("SNR %f vs %f", r.SNRdB, want.SNRdB)
+		}
+	}
+}
+
+func TestErrorIndicationRoundTrip(t *testing.T) {
+	m := &ErrorIndication{CellID: 8, Slot: 1, Code: ErrCodeMissingConfig}
+	got := roundTrip(t, m).(*ErrorIndication)
+	if got.Code != ErrCodeMissingConfig {
+		t.Fatalf("Code = %d", got.Code)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err != ErrTruncated {
+		t.Fatalf("nil: %v", err)
+	}
+	wire := Encode(&StartRequest{CellID: 1})
+	wire[0] = 200
+	if _, err := Decode(wire); err != ErrUnknownKind {
+		t.Fatalf("unknown kind: %v", err)
+	}
+	wire = Encode(&ConfigRequest{CellID: 1})
+	if _, err := Decode(wire[:len(wire)-3]); err != ErrTruncated {
+		t.Fatalf("truncated body: %v", err)
+	}
+	// Truncated PDU list.
+	wire = Encode(&ULConfig{CellID: 1, Slot: 1, PDUs: []PDU{samplePDU(1)}})
+	bad := wire[:len(wire)-1]
+	// Fix header length to claim full body, then truncate: header claims
+	// more than present -> truncated.
+	if _, err := Decode(bad); err != ErrTruncated {
+		t.Fatalf("truncated PDU: %v", err)
+	}
+}
+
+func TestEncodeDecodePropertySlotHeader(t *testing.T) {
+	f := func(cell uint16, slot uint64) bool {
+		m := &SlotIndication{CellID: cell, Slot: slot}
+		got, err := Decode(Encode(m))
+		if err != nil {
+			return false
+		}
+		return got.Cell() == cell && got.AbsSlot() == slot
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPDUWireStability(t *testing.T) {
+	// Wire size must not silently change: Orion and the PHY both parse it.
+	p := samplePDU(1)
+	enc := p.encode(nil)
+	if len(enc) != pduWire {
+		t.Fatalf("PDU wire size %d, want %d", len(enc), pduWire)
+	}
+}
+
+func TestSlotIDHelper(t *testing.T) {
+	s := SlotID(41)
+	if s.Index() != 41 {
+		t.Fatalf("SlotID(41).Index() = %d", s.Index())
+	}
+}
+
+// TestDecodeFuzz: arbitrary bytes never panic the FAPI decoder.
+func TestDecodeFuzz(t *testing.T) {
+	f := func(data []byte) bool {
+		m, err := Decode(data)
+		return (m == nil) == (err != nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUCIListFuzz: arbitrary bytes never panic the UCI decoder.
+func TestUCIListFuzz(t *testing.T) {
+	f := func(data []byte) bool {
+		DecodeUCIList(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUCIRoundTrip(t *testing.T) {
+	list := []UCI{
+		{UEID: 1, HARQID: 3, HasFeedback: true, ACK: true, CQIdB: 21.5},
+		{UEID: 2, CQIdB: -4.25},
+	}
+	got, err := DecodeUCIList(EncodeUCIList(list))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != list[0] || got[1] != list[1] {
+		t.Fatalf("UCI round trip: %+v", got)
+	}
+	m := &UCIIndication{CellID: 4, Slot: 99, Reports: list}
+	dec, err := Decode(Encode(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind := dec.(*UCIIndication)
+	if len(ind.Reports) != 2 || ind.Reports[0].CQIdB != 21.5 {
+		t.Fatalf("UCIIndication round trip: %+v", ind)
+	}
+}

@@ -1,0 +1,92 @@
+package fapi
+
+import "encoding/binary"
+
+// KindUCIIndication extends the message vocabulary with UCI.indication:
+// uplink control information the UE sends on PUCCH — downlink HARQ
+// ACK/NACK feedback and channel-quality reports. PHY migration can drop
+// these (§8.4 of the paper), which is why they ride the fronthaul path
+// instead of a side channel.
+const KindUCIIndication Kind = 32
+
+// UCI is one UE's uplink control report.
+type UCI struct {
+	UEID   uint16
+	HARQID uint8
+	// HasFeedback distinguishes an ACK/NACK report from a CQI-only UCI.
+	HasFeedback bool
+	ACK         bool
+	// CQIdB is the UE's downlink SNR estimate.
+	CQIdB float32
+}
+
+const uciWire = 2 + 1 + 1 + 1 + 4
+
+// EncodeUCIList serializes UCI reports (used as fronthaul Aux payload and
+// in UCIIndication bodies).
+func EncodeUCIList(list []UCI) []byte {
+	out := make([]byte, 2, 2+len(list)*uciWire)
+	binary.BigEndian.PutUint16(out, uint16(len(list)))
+	for _, u := range list {
+		var buf [uciWire]byte
+		binary.BigEndian.PutUint16(buf[0:2], u.UEID)
+		buf[2] = u.HARQID
+		if u.HasFeedback {
+			buf[3] = 1
+		}
+		if u.ACK {
+			buf[4] = 1
+		}
+		binary.BigEndian.PutUint32(buf[5:9], uint32(int32(u.CQIdB*256)))
+		out = append(out, buf[:]...)
+	}
+	return out
+}
+
+// DecodeUCIList parses UCI reports.
+func DecodeUCIList(data []byte) ([]UCI, error) {
+	if len(data) < 2 {
+		return nil, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(data[0:2]))
+	data = data[2:]
+	if len(data) < n*uciWire {
+		return nil, ErrTruncated
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]UCI, n)
+	for i := range out {
+		buf := data[i*uciWire:]
+		out[i] = UCI{
+			UEID:        binary.BigEndian.Uint16(buf[0:2]),
+			HARQID:      buf[2],
+			HasFeedback: buf[3] == 1,
+			ACK:         buf[4] == 1,
+			CQIdB:       float32(int32(binary.BigEndian.Uint32(buf[5:9]))) / 256,
+		}
+	}
+	return out, nil
+}
+
+// UCIIndication reports the slot's uplink control information to the L2.
+type UCIIndication struct {
+	CellID  uint16
+	Slot    uint64
+	Reports []UCI
+}
+
+func (m *UCIIndication) Kind() Kind      { return KindUCIIndication }
+func (m *UCIIndication) Cell() uint16    { return m.CellID }
+func (m *UCIIndication) AbsSlot() uint64 { return m.Slot }
+
+func (m *UCIIndication) encodeBody(b []byte) []byte {
+	return append(b, EncodeUCIList(m.Reports)...)
+}
+
+func (m *UCIIndication) decodeBody(b []byte) error {
+	list, err := DecodeUCIList(b)
+	m.Reports = list
+	return err
+}

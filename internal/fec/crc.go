@@ -1,0 +1,73 @@
+// Package fec implements the forward-error-correction substrate of the
+// simulated PHY: CRC attachment (transport-block CRC-24, code-block CRC-16
+// as in 5G NR), and a systematic irregular repeat-accumulate (IRA) code —
+// a linear-time-encodable member of the LDPC family, decoded with
+// normalized min-sum belief propagation. The decoder's iteration count is
+// a first-class parameter because the paper's live-upgrade experiment
+// (Fig 11) upgrades the PHY to "more FEC iterations".
+package fec
+
+// CRC24 computes the 5G NR CRC24A checksum (polynomial 0x864CFB) over data.
+func CRC24(data []byte) uint32 {
+	var crc uint32
+	for _, b := range data {
+		crc ^= uint32(b) << 16
+		for i := 0; i < 8; i++ {
+			crc <<= 1
+			if crc&0x1000000 != 0 {
+				crc ^= 0x864CFB
+			}
+		}
+	}
+	return crc & 0xFFFFFF
+}
+
+// CRC16 computes CRC-16/CCITT (polynomial 0x1021), used for per-code-block
+// checks.
+func CRC16(data []byte) uint16 {
+	var crc uint16
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// AppendCRC24 returns data with its CRC24 appended as 3 big-endian bytes.
+func AppendCRC24(data []byte) []byte {
+	crc := CRC24(data)
+	return append(data, byte(crc>>16), byte(crc>>8), byte(crc))
+}
+
+// CheckCRC24 verifies and strips a trailing CRC24. It returns the payload
+// and whether the check passed.
+func CheckCRC24(data []byte) ([]byte, bool) {
+	if len(data) < 3 {
+		return nil, false
+	}
+	payload := data[:len(data)-3]
+	want := uint32(data[len(data)-3])<<16 | uint32(data[len(data)-2])<<8 | uint32(data[len(data)-1])
+	return payload, CRC24(payload) == want
+}
+
+// AppendCRC16 returns data with its CRC16 appended as 2 big-endian bytes.
+func AppendCRC16(data []byte) []byte {
+	crc := CRC16(data)
+	return append(data, byte(crc>>8), byte(crc))
+}
+
+// CheckCRC16 verifies and strips a trailing CRC16.
+func CheckCRC16(data []byte) ([]byte, bool) {
+	if len(data) < 2 {
+		return nil, false
+	}
+	payload := data[:len(data)-2]
+	want := uint16(data[len(data)-2])<<8 | uint16(data[len(data)-1])
+	return payload, CRC16(payload) == want
+}

@@ -1,0 +1,282 @@
+package fec
+
+import (
+	"fmt"
+	"math"
+
+	"slingshot/internal/sim"
+)
+
+// Code is a systematic irregular repeat-accumulate code: K information bits
+// followed by M = N-K parity bits produced by an accumulator over random
+// sparse combinations of the information bits. Its parity-check matrix is
+// H = [A | T] with A sparse-random (row weight InfoWeight) and T the
+// dual-diagonal accumulator, which gives linear-time encoding and a sparse
+// Tanner graph for belief-propagation decoding.
+type Code struct {
+	K, N int // info bits, total coded bits
+	M    int // parity bits = N - K
+
+	// rows[i] holds the info-bit column indices checked by parity row i.
+	rows [][]int
+	// rowVars[i] holds all variable indices of parity row i, including the
+	// accumulator parity columns. Built once for the decoder.
+	rowVars [][]int
+	// varRows[v] holds, for each variable (coded bit) v, the parity rows
+	// that reference it.
+	varRows [][]int
+	edges   int
+
+	// Decoder scratch, reused across Decode calls (single-threaded sim).
+	c2v       [][]float64
+	posterior []float64
+	hard      []byte
+}
+
+// InfoWeight is the number of information bits combined per parity row.
+const InfoWeight = 3
+
+// NewCode constructs a code with K info bits and N total bits (N > K),
+// using seed to derive the sparse connections. The same (K, N, seed) always
+// yields the same code, so encoder and decoder agree without sharing state.
+func NewCode(k, n int, seed uint64) *Code {
+	if k <= 0 || n <= k {
+		panic(fmt.Sprintf("fec: invalid code dimensions K=%d N=%d", k, n))
+	}
+	m := n - k
+	c := &Code{K: k, N: n, M: m}
+	rng := sim.NewRNG(seed ^ uint64(k)<<20 ^ uint64(n))
+
+	c.rows = make([][]int, m)
+	// Ensure every info bit is referenced at least once by dealing the
+	// first ceil(m*InfoWeight / k) passes as shuffled permutations.
+	deck := make([]int, k)
+	for i := range deck {
+		deck[i] = i
+	}
+	pos := k // force reshuffle on first draw
+	draw := func() int {
+		if pos >= k {
+			for i := k - 1; i > 0; i-- {
+				j := rng.Intn(i + 1)
+				deck[i], deck[j] = deck[j], deck[i]
+			}
+			pos = 0
+		}
+		v := deck[pos]
+		pos++
+		return v
+	}
+	for i := 0; i < m; i++ {
+		row := make([]int, 0, InfoWeight)
+		for len(row) < InfoWeight {
+			v := draw()
+			dup := false
+			for _, r := range row {
+				if r == v {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				row = append(row, v)
+			}
+		}
+		c.rows[i] = row
+	}
+
+	// Build variable -> rows adjacency including parity columns.
+	c.varRows = make([][]int, n)
+	for i, row := range c.rows {
+		for _, v := range row {
+			c.varRows[v] = append(c.varRows[v], i)
+		}
+		c.varRows[k+i] = append(c.varRows[k+i], i)
+		if i+1 < m {
+			// Parity bit i also appears in row i+1 (accumulator chain).
+			c.varRows[k+i] = append(c.varRows[k+i], i+1)
+		}
+	}
+	for _, rs := range c.varRows {
+		c.edges += len(rs)
+	}
+
+	// Flattened per-row adjacency for the decoder: info columns, own
+	// parity column K+i, and the previous parity column K+i-1 (i > 0).
+	c.rowVars = make([][]int, m)
+	c.c2v = make([][]float64, m)
+	for i := range c.rows {
+		rv := make([]int, 0, InfoWeight+2)
+		rv = append(rv, c.rows[i]...)
+		rv = append(rv, k+i)
+		if i > 0 {
+			rv = append(rv, k+i-1)
+		}
+		c.rowVars[i] = rv
+		c.c2v[i] = make([]float64, len(rv))
+	}
+	c.posterior = make([]float64, n)
+	c.hard = make([]byte, n)
+	return c
+}
+
+// Rate returns the code rate K/N.
+func (c *Code) Rate() float64 { return float64(c.K) / float64(c.N) }
+
+// Encode maps K info bits (one bit per byte, values 0/1) to N coded bits.
+// The output is systematic: out[:K] equals info.
+func (c *Code) Encode(info []byte) []byte {
+	if len(info) != c.K {
+		panic(fmt.Sprintf("fec: Encode got %d bits, code K=%d", len(info), c.K))
+	}
+	out := make([]byte, c.N)
+	copy(out, info)
+	var acc byte
+	for i, row := range c.rows {
+		var s byte
+		for _, v := range row {
+			s ^= info[v]
+		}
+		acc ^= s
+		out[c.K+i] = acc
+	}
+	return out
+}
+
+// DecodeResult reports the outcome of an iterative decode.
+type DecodeResult struct {
+	Info       []byte // K hard-decision info bits
+	OK         bool   // parity checks all satisfied
+	Iterations int    // iterations actually used
+}
+
+// Decode runs normalized min-sum belief propagation over channel LLRs
+// (positive = bit 0 more likely, the standard convention) for at most
+// maxIters iterations, stopping early once all parity checks pass.
+//
+// More iterations strictly improve (or preserve) decode success at a given
+// SNR; this is the lever the Fig 11 live-upgrade experiment pulls.
+func (c *Code) Decode(llr []float64, maxIters int) DecodeResult {
+	if len(llr) != c.N {
+		panic(fmt.Sprintf("fec: Decode got %d LLRs, code N=%d", len(llr), c.N))
+	}
+	if maxIters < 1 {
+		maxIters = 1
+	}
+	const alpha = 0.8 // normalization factor for min-sum
+
+	rowVars := c.rowVars
+	c2v := c.c2v
+	for i := range c2v {
+		for j := range c2v[i] {
+			c2v[i][j] = 0
+		}
+	}
+	posterior := c.posterior
+	hard := c.hard
+
+	result := DecodeResult{}
+	for iter := 1; iter <= maxIters; iter++ {
+		result.Iterations = iter
+		// Variable-to-check messages are computed on the fly:
+		// v2c(v->i) = llr[v] + sum of c2v from other rows of v.
+		// First accumulate posteriors.
+		copy(posterior, llr)
+		for i, rv := range rowVars {
+			for j, v := range rv {
+				posterior[v] += c2v[i][j]
+			}
+		}
+		// Check node update (min-sum with normalization).
+		for i, rv := range rowVars {
+			// Extrinsic v2c = posterior - own c2v.
+			sign := 1.0
+			min1, min2 := math.Inf(1), math.Inf(1)
+			minIdx := -1
+			for j, v := range rv {
+				m := posterior[v] - c2v[i][j]
+				if m < 0 {
+					sign = -sign
+					m = -m
+				}
+				if m < min1 {
+					min2 = min1
+					min1 = m
+					minIdx = j
+				} else if m < min2 {
+					min2 = m
+				}
+			}
+			for j, v := range rv {
+				m := posterior[v] - c2v[i][j]
+				s := sign
+				if m < 0 {
+					s = -s
+					m = -m
+				}
+				mag := min1
+				if j == minIdx {
+					mag = min2
+				}
+				c2v[i][j] = alpha * s * mag
+			}
+		}
+		// Posterior and hard decision with updated messages.
+		copy(posterior, llr)
+		for i, rv := range rowVars {
+			for j, v := range rv {
+				posterior[v] += c2v[i][j]
+			}
+		}
+		for v := range hard {
+			if posterior[v] < 0 {
+				hard[v] = 1
+			} else {
+				hard[v] = 0
+			}
+		}
+		if c.checkParity(hard) {
+			result.OK = true
+			break
+		}
+	}
+	result.Info = append([]byte(nil), hard[:c.K]...)
+	return result
+}
+
+// checkParity reports whether all M parity checks are satisfied by the
+// hard-decision bits.
+func (c *Code) checkParity(bits []byte) bool {
+	var prev byte
+	for i, row := range c.rows {
+		var s byte
+		for _, v := range row {
+			s ^= bits[v]
+		}
+		s ^= bits[c.K+i] ^ prev
+		if s != 0 {
+			return false
+		}
+		prev = bits[c.K+i]
+	}
+	return true
+}
+
+// Edges returns the Tanner-graph edge count (decoder cost estimate).
+func (c *Code) Edges() int { return c.edges }
+
+// codeCache memoizes constructed codes; construction is deterministic so
+// sharing is safe across encoders and decoders.
+var codeCache = map[[3]uint64]*Code{}
+
+// Get returns a cached code for (k, n, seed), constructing it on first use.
+// Not safe for concurrent use; the simulator is single-threaded.
+func Get(k, n int, seed uint64) *Code {
+	key := [3]uint64{uint64(k), uint64(n), seed}
+	if c, ok := codeCache[key]; ok {
+		return c
+	}
+	c := NewCode(k, n, seed)
+	codeCache[key] = c
+	return c
+}

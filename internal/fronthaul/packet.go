@@ -1,0 +1,217 @@
+package fronthaul
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MessageType is the eCPRI message type of a fronthaul packet.
+type MessageType uint8
+
+// eCPRI message types used by O-RAN fronthaul.
+const (
+	MsgIQData    MessageType = 0 // U-plane: IQ samples
+	MsgRTControl MessageType = 2 // C-plane: realtime control
+)
+
+func (m MessageType) String() string {
+	switch m {
+	case MsgIQData:
+		return "U-plane"
+	case MsgRTControl:
+		return "C-plane"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(m))
+	}
+}
+
+// Errors returned by the decoder.
+var (
+	ErrShortPacket = errors.New("fronthaul: packet too short")
+	ErrBadVersion  = errors.New("fronthaul: unsupported eCPRI version")
+	ErrBadSlot     = errors.New("fronthaul: slot fields out of range")
+)
+
+// Packet is a decoded fronthaul packet. One C-plane packet describes the
+// slot's sections; U-plane packets carry the BFP-compressed IQ payload for
+// a PRB range.
+//
+// Wire layout (big endian):
+//
+//	byte 0      : eCPRI version (high nibble) | msgType (low nibble is
+//	              enough for our two types)
+//	bytes 1-2   : payload length
+//	bytes 3-4   : eAxC id (RU port id; carries the RU's logical identity)
+//	byte 5      : sequence id
+//	byte 6      : direction (bit 7) | frame low bit unused
+//	byte 7      : frame
+//	byte 8      : subframe (high nibble) | slot (low nibble+... 6 bits)
+//	byte 9      : startSymbol (we emit per-slot packets, so 0)
+//	bytes 10-11 : sectionID
+//	bytes 12-13 : startPRB
+//	bytes 14-15 : numPRB
+//	byte 16     : mantissa bits (U-plane) / section count (C-plane)
+//	bytes 17-20 : aux length
+//	bytes 21+   : payload (BFP IQ for U-plane, section descriptors for C),
+//	              then aux bytes
+type Packet struct {
+	Version  uint8
+	Type     MessageType
+	EAxC     uint16
+	Seq      uint8
+	Dir      Direction
+	Slot     SlotID
+	Section  uint16
+	StartPRB uint16
+	NumPRB   uint16
+	// MantissaBits is the BFP width for U-plane payloads; for C-plane
+	// packets the field carries the section count.
+	MantissaBits uint8
+	Payload      []byte
+	// Aux carries simulation-sidecar bytes (the transport-block payload
+	// represented by the sampled code block in the IQ). A real fronthaul
+	// encodes all bits in IQ; the sampled-fidelity PHY carries the
+	// remainder here so end-to-end data flows byte-exactly. See DESIGN.md.
+	Aux []byte
+}
+
+// CurrentVersion is the eCPRI protocol version we emit.
+const CurrentVersion = 1
+
+// headerLen is the fixed header size before the payload.
+const headerLen = 21
+
+// Serialize encodes the packet to wire format.
+func (p *Packet) Serialize() []byte {
+	out := make([]byte, headerLen+len(p.Payload)+len(p.Aux))
+	out[0] = p.Version<<4 | uint8(p.Type)&0x0F
+	binary.BigEndian.PutUint16(out[1:3], uint16(len(p.Payload)))
+	binary.BigEndian.PutUint16(out[3:5], p.EAxC)
+	out[5] = p.Seq
+	if p.Dir == Downlink {
+		out[6] = 0x80
+	}
+	out[7] = p.Slot.Frame
+	out[8] = p.Slot.Subframe<<4 | p.Slot.Slot&0x0F
+	out[9] = 0
+	binary.BigEndian.PutUint16(out[10:12], p.Section)
+	binary.BigEndian.PutUint16(out[12:14], p.StartPRB)
+	binary.BigEndian.PutUint16(out[14:16], p.NumPRB)
+	out[16] = p.MantissaBits
+	binary.BigEndian.PutUint32(out[17:21], uint32(len(p.Aux)))
+	copy(out[headerLen:], p.Payload)
+	copy(out[headerLen+len(p.Payload):], p.Aux)
+	return out
+}
+
+// Decode parses a wire-format packet. The payload slice aliases data
+// (zero-copy); callers that retain it past the frame's lifetime must copy.
+func Decode(data []byte) (*Packet, error) {
+	if len(data) < headerLen {
+		return nil, ErrShortPacket
+	}
+	p := &Packet{
+		Version: data[0] >> 4,
+		Type:    MessageType(data[0] & 0x0F),
+	}
+	if p.Version != CurrentVersion {
+		return nil, ErrBadVersion
+	}
+	plen := int(binary.BigEndian.Uint16(data[1:3]))
+	alen := int(binary.BigEndian.Uint32(data[17:21]))
+	if len(data) < headerLen+plen+alen {
+		return nil, ErrShortPacket
+	}
+	p.EAxC = binary.BigEndian.Uint16(data[3:5])
+	p.Seq = data[5]
+	if data[6]&0x80 != 0 {
+		p.Dir = Downlink
+	}
+	p.Slot = SlotID{Frame: data[7], Subframe: data[8] >> 4, Slot: data[8] & 0x0F}
+	if !p.Slot.Valid() {
+		return nil, ErrBadSlot
+	}
+	p.Section = binary.BigEndian.Uint16(data[10:12])
+	p.StartPRB = binary.BigEndian.Uint16(data[12:14])
+	p.NumPRB = binary.BigEndian.Uint16(data[14:16])
+	p.MantissaBits = data[16]
+	p.Payload = data[headerLen : headerLen+plen]
+	p.Aux = data[headerLen+plen : headerLen+plen+alen]
+	return p, nil
+}
+
+// PeekSlot extracts only the slot identifier and direction from a
+// wire-format packet without a full decode — this mirrors what the switch
+// dataplane parser does (it never touches the IQ payload).
+func PeekSlot(data []byte) (SlotID, Direction, bool) {
+	if len(data) < headerLen {
+		return SlotID{}, Uplink, false
+	}
+	dir := Uplink
+	if data[6]&0x80 != 0 {
+		dir = Downlink
+	}
+	s := SlotID{Frame: data[7], Subframe: data[8] >> 4, Slot: data[8] & 0x0F}
+	return s, dir, s.Valid()
+}
+
+// PeekEAxC extracts the eAxC (RU port) identifier the way the switch
+// parser does.
+func PeekEAxC(data []byte) (uint16, bool) {
+	if len(data) < headerLen {
+		return 0, false
+	}
+	return binary.BigEndian.Uint16(data[3:5]), true
+}
+
+// PeekType extracts the message type.
+func PeekType(data []byte) (MessageType, bool) {
+	if len(data) < 1 {
+		return 0, false
+	}
+	return MessageType(data[0] & 0x0F), true
+}
+
+// NewUplinkIQ builds a U-plane uplink packet carrying IQ samples for a PRB
+// range, compressing with the given mantissa width.
+func NewUplinkIQ(eaxc uint16, seq uint8, slot SlotID, startPRB, numPRB uint16, iq []complex128, mantissaBits int) (*Packet, error) {
+	payload, err := CompressBFP(iq, mantissaBits)
+	if err != nil {
+		return nil, err
+	}
+	return &Packet{
+		Version: CurrentVersion, Type: MsgIQData, EAxC: eaxc, Seq: seq,
+		Dir: Uplink, Slot: slot, StartPRB: startPRB, NumPRB: numPRB,
+		MantissaBits: uint8(mantissaBits), Payload: payload,
+	}, nil
+}
+
+// NewDownlinkIQ builds a U-plane downlink packet.
+func NewDownlinkIQ(eaxc uint16, seq uint8, slot SlotID, startPRB, numPRB uint16, iq []complex128, mantissaBits int) (*Packet, error) {
+	p, err := NewUplinkIQ(eaxc, seq, slot, startPRB, numPRB, iq, mantissaBits)
+	if err != nil {
+		return nil, err
+	}
+	p.Dir = Downlink
+	return p, nil
+}
+
+// NewControl builds a C-plane packet for the slot. A healthy PHY emits one
+// downlink C-plane packet per slot; Slingshot's failure detector treats
+// the stream as a natural heartbeat.
+func NewControl(eaxc uint16, seq uint8, dir Direction, slot SlotID, sections uint8) *Packet {
+	return &Packet{
+		Version: CurrentVersion, Type: MsgRTControl, EAxC: eaxc, Seq: seq,
+		Dir: dir, Slot: slot, MantissaBits: sections,
+	}
+}
+
+// IQ decodes the packet's payload into complex samples. Only valid for
+// U-plane packets.
+func (p *Packet) IQ() ([]complex128, error) {
+	if p.Type != MsgIQData {
+		return nil, fmt.Errorf("fronthaul: IQ() on %v packet", p.Type)
+	}
+	return DecompressBFP(p.Payload, int(p.MantissaBits))
+}

@@ -1,0 +1,73 @@
+// Package fronthaul implements the O-RAN split option-7.2x fronthaul
+// protocol between the RU and the PHY: eCPRI framing, control-plane (C)
+// and user-plane (U) section headers carrying the frame/subframe/slot
+// identifiers Slingshot's switch logic keys on, and block-floating-point
+// (BFP) IQ compression.
+//
+// The codec follows the gopacket idiom: types decode from and serialize to
+// byte slices with explicit errors, no hidden allocation on the decode
+// path beyond the payload copy.
+package fronthaul
+
+import "fmt"
+
+// Numerology: 30 kHz subcarrier spacing gives 2 slots per 1 ms subframe,
+// 10 subframes per 10 ms frame, and an 8-bit frame counter (O-RAN).
+const (
+	SlotsPerSubframe  = 2
+	SubframesPerFrame = 10
+	SlotsPerFrame     = SlotsPerSubframe * SubframesPerFrame
+	FrameWrap         = 256
+	// SlotWrap is the number of distinct SlotID values before wrap-around
+	// (2.56 s of airtime).
+	SlotWrap = FrameWrap * SlotsPerFrame
+)
+
+// SlotID identifies a TTI on the air interface the way fronthaul packet
+// headers do: 8-bit frame, 4-bit subframe, 6-bit slot-in-subframe.
+type SlotID struct {
+	Frame    uint8
+	Subframe uint8
+	Slot     uint8
+}
+
+// SlotFromCounter converts an absolute slot counter (monotonic TTI index
+// since simulation start) into the wrapped on-air SlotID.
+func SlotFromCounter(counter uint64) SlotID {
+	w := counter % SlotWrap
+	return SlotID{
+		Frame:    uint8(w / SlotsPerFrame),
+		Subframe: uint8(w % SlotsPerFrame / SlotsPerSubframe),
+		Slot:     uint8(w % SlotsPerSubframe),
+	}
+}
+
+// Index returns the SlotID's position within the wrap period [0, SlotWrap).
+func (s SlotID) Index() uint64 {
+	return uint64(s.Frame)*SlotsPerFrame + uint64(s.Subframe)*SlotsPerSubframe + uint64(s.Slot)
+}
+
+// Valid reports whether the fields are within protocol ranges.
+func (s SlotID) Valid() bool {
+	return s.Subframe < SubframesPerFrame && s.Slot < SlotsPerSubframe
+}
+
+func (s SlotID) String() string {
+	return fmt.Sprintf("f%d.sf%d.s%d", s.Frame, s.Subframe, s.Slot)
+}
+
+// Direction distinguishes uplink from downlink fronthaul traffic.
+type Direction uint8
+
+// Fronthaul traffic directions.
+const (
+	Uplink   Direction = 0
+	Downlink Direction = 1
+)
+
+func (d Direction) String() string {
+	if d == Uplink {
+		return "UL"
+	}
+	return "DL"
+}

@@ -1,0 +1,163 @@
+// Package harq implements the PHY-side Hybrid ARQ machinery: per-(UE,
+// process) soft-combine buffers that accumulate demodulated LLRs across
+// retransmissions (chase combining), and the bookkeeping Slingshot
+// deliberately discards on migration (§4.2 of the paper).
+package harq
+
+// MaxProcesses is the number of HARQ processes per UE.
+const MaxProcesses = 16
+
+// MaxTransmissions is the 5G default: one initial transmission plus up to
+// three retransmissions.
+const MaxTransmissions = 4
+
+type key struct {
+	ue   uint16
+	proc uint8
+}
+
+// Buffer is one HARQ process's soft buffer.
+type Buffer struct {
+	LLR     []float64 // accumulated soft values for the code block
+	TxCount int       // transmissions combined so far
+	Active  bool
+}
+
+// Pool holds the HARQ soft buffers for every UE a PHY serves. The zero
+// value is not usable; call NewPool.
+type Pool struct {
+	buffers map[key]*Buffer
+
+	// Combined counts receptions that soft-combined with a prior buffer.
+	Combined uint64
+	// Interrupted counts sequences broken by a Reset while mid-flight —
+	// the paper's "interrupted HARQ seqs" metric in Table 2.
+	Interrupted uint64
+}
+
+// NewPool returns an empty HARQ pool.
+func NewPool() *Pool {
+	return &Pool{buffers: make(map[key]*Buffer)}
+}
+
+// Combine merges a new reception's LLRs into the process buffer and
+// returns the combined LLRs (aliasing the stored buffer). newData true
+// flushes any previous soft state first (new transport block).
+func (p *Pool) Combine(ue uint16, proc uint8, llr []float64, newData bool) []float64 {
+	k := key{ue, proc}
+	b := p.buffers[k]
+	if b == nil {
+		b = &Buffer{}
+		p.buffers[k] = b
+	}
+	if newData || !b.Active || len(b.LLR) != len(llr) {
+		b.LLR = append(b.LLR[:0], llr...)
+		b.TxCount = 1
+		b.Active = true
+		return b.LLR
+	}
+	for i := range llr {
+		b.LLR[i] += llr[i]
+	}
+	b.TxCount++
+	p.Combined++
+	return b.LLR
+}
+
+// Ack marks a process successfully decoded, releasing its buffer.
+func (p *Pool) Ack(ue uint16, proc uint8) {
+	if b := p.buffers[key{ue, proc}]; b != nil {
+		b.Active = false
+		b.LLR = b.LLR[:0]
+		b.TxCount = 0
+	}
+}
+
+// TxCount returns how many transmissions the process has combined.
+func (p *Pool) TxCount(ue uint16, proc uint8) int {
+	if b := p.buffers[key{ue, proc}]; b != nil {
+		return b.TxCount
+	}
+	return 0
+}
+
+// ActiveSequences returns the number of in-flight (un-acked) processes.
+func (p *Pool) ActiveSequences() int {
+	n := 0
+	for _, b := range p.buffers {
+		if b.Active {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset discards all soft state. This is what PHY migration does: the
+// destination PHY starts with empty buffers and in-flight retransmissions
+// fail CRC, falling back to higher-layer (RLC) retransmission — the
+// behaviour §4.2 argues is indistinguishable from a noisy channel.
+// It returns the number of interrupted in-flight sequences.
+func (p *Pool) Reset() int {
+	interrupted := 0
+	for k, b := range p.buffers {
+		if b.Active {
+			interrupted++
+		}
+		delete(p.buffers, k)
+	}
+	p.Interrupted += uint64(interrupted)
+	return interrupted
+}
+
+// DropUE discards the soft state of one UE (UE detach).
+func (p *Pool) DropUE(ue uint16) {
+	for k := range p.buffers {
+		if k.ue == ue {
+			delete(p.buffers, k)
+		}
+	}
+}
+
+// SNRFilter is the per-UE average-SNR moving filter the PHY maintains
+// (§4.2): an exponential moving average that re-converges within ~25 ms
+// after being discarded.
+type SNRFilter struct {
+	// Alpha is the EMA weight of a new sample.
+	Alpha float64
+
+	value  float64
+	primed bool
+}
+
+// DefaultSNRAlpha converges to ~95% of a step in 50 UL samples; with a UL
+// slot every 2.5 ms in DDDSU... we use ~0.12 so reconvergence takes ≈25 ms
+// of UL slots, matching the paper's stated filter behaviour.
+const DefaultSNRAlpha = 0.12
+
+// Observe folds a new SNR sample (dB) into the filter and returns the
+// average.
+func (f *SNRFilter) Observe(snrdB float64) float64 {
+	a := f.Alpha
+	if a == 0 {
+		a = DefaultSNRAlpha
+	}
+	if !f.primed {
+		f.value = snrdB
+		f.primed = true
+		return f.value
+	}
+	f.value = (1-a)*f.value + a*snrdB
+	return f.value
+}
+
+// Value returns the current average (0 if never primed).
+func (f *SNRFilter) Value() float64 { return f.value }
+
+// Primed reports whether the filter has seen any sample.
+func (f *SNRFilter) Primed() bool { return f.primed }
+
+// Reset discards the filter state (PHY migration).
+func (f *SNRFilter) Reset() {
+	f.value = 0
+	f.primed = false
+}

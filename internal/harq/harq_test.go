@@ -1,0 +1,178 @@
+package harq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCombineFirstTransmission(t *testing.T) {
+	p := NewPool()
+	llr := []float64{1, -2, 3}
+	got := p.Combine(1, 0, llr, true)
+	if len(got) != 3 || got[0] != 1 || got[1] != -2 || got[2] != 3 {
+		t.Fatalf("first combine = %v", got)
+	}
+	if p.TxCount(1, 0) != 1 {
+		t.Fatalf("TxCount = %d", p.TxCount(1, 0))
+	}
+}
+
+func TestCombineAccumulates(t *testing.T) {
+	p := NewPool()
+	p.Combine(1, 2, []float64{1, 1}, true)
+	got := p.Combine(1, 2, []float64{0.5, -3}, false)
+	if got[0] != 1.5 || got[1] != -2 {
+		t.Fatalf("combined = %v", got)
+	}
+	if p.TxCount(1, 2) != 2 {
+		t.Fatalf("TxCount = %d", p.TxCount(1, 2))
+	}
+	if p.Combined != 1 {
+		t.Fatalf("Combined counter = %d", p.Combined)
+	}
+}
+
+func TestCombineNewDataFlushes(t *testing.T) {
+	p := NewPool()
+	p.Combine(1, 0, []float64{10, 10}, true)
+	got := p.Combine(1, 0, []float64{1, 1}, true)
+	if got[0] != 1 || got[1] != 1 {
+		t.Fatalf("newData did not flush: %v", got)
+	}
+	if p.TxCount(1, 0) != 1 {
+		t.Fatalf("TxCount after flush = %d", p.TxCount(1, 0))
+	}
+}
+
+func TestCombineLengthMismatchRestarts(t *testing.T) {
+	p := NewPool()
+	p.Combine(1, 0, []float64{1, 1, 1}, true)
+	got := p.Combine(1, 0, []float64{2, 2}, false)
+	if len(got) != 2 || got[0] != 2 {
+		t.Fatalf("length mismatch not handled: %v", got)
+	}
+}
+
+func TestAckReleases(t *testing.T) {
+	p := NewPool()
+	p.Combine(3, 1, []float64{1}, true)
+	p.Ack(3, 1)
+	if p.TxCount(3, 1) != 0 {
+		t.Fatal("Ack did not clear TxCount")
+	}
+	if p.ActiveSequences() != 0 {
+		t.Fatal("Ack left sequence active")
+	}
+	// Combining after ack behaves like a fresh buffer even with
+	// newData=false (receiver lost context).
+	got := p.Combine(3, 1, []float64{5}, false)
+	if got[0] != 5 || p.TxCount(3, 1) != 1 {
+		t.Fatalf("post-ack combine: %v txcount=%d", got, p.TxCount(3, 1))
+	}
+}
+
+func TestResetInterruptsInFlight(t *testing.T) {
+	p := NewPool()
+	p.Combine(1, 0, []float64{1}, true)
+	p.Combine(1, 1, []float64{1}, true)
+	p.Combine(2, 0, []float64{1}, true)
+	p.Ack(1, 1)
+	n := p.Reset()
+	if n != 2 {
+		t.Fatalf("Reset interrupted %d, want 2", n)
+	}
+	if p.Interrupted != 2 {
+		t.Fatalf("Interrupted = %d", p.Interrupted)
+	}
+	if p.ActiveSequences() != 0 {
+		t.Fatal("sequences survive Reset")
+	}
+	// Post-reset combine starts fresh.
+	got := p.Combine(1, 0, []float64{7}, false)
+	if got[0] != 7 {
+		t.Fatalf("post-reset combine: %v", got)
+	}
+}
+
+func TestDropUE(t *testing.T) {
+	p := NewPool()
+	p.Combine(1, 0, []float64{1}, true)
+	p.Combine(2, 0, []float64{1}, true)
+	p.DropUE(1)
+	if p.TxCount(1, 0) != 0 {
+		t.Fatal("DropUE left UE 1 state")
+	}
+	if p.TxCount(2, 0) != 1 {
+		t.Fatal("DropUE removed UE 2 state")
+	}
+}
+
+func TestCombineSumProperty(t *testing.T) {
+	// Combining k equal-LLR receptions scales the buffer by k.
+	f := func(vals []float64, k uint8) bool {
+		n := int(k%4) + 2
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		p := NewPool()
+		var got []float64
+		for i := 0; i < n; i++ {
+			got = p.Combine(9, 3, vals, i == 0)
+		}
+		for i, v := range vals {
+			want := v * float64(n)
+			if math.Abs(got[i]-want) > 1e-6*math.Max(1, math.Abs(want)) {
+				return false
+			}
+		}
+		return p.TxCount(9, 3) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSNRFilterConverges(t *testing.T) {
+	var f SNRFilter
+	if f.Primed() {
+		t.Fatal("zero filter primed")
+	}
+	first := f.Observe(20)
+	if first != 20 || !f.Primed() {
+		t.Fatalf("first observation: %f", first)
+	}
+	// Step to 10 dB; after 50 samples the filter should be within 0.5 dB.
+	var v float64
+	for i := 0; i < 50; i++ {
+		v = f.Observe(10)
+	}
+	if math.Abs(v-10) > 0.5 {
+		t.Fatalf("filter at %f after 50 samples", v)
+	}
+}
+
+func TestSNRFilterReset(t *testing.T) {
+	var f SNRFilter
+	f.Observe(15)
+	f.Reset()
+	if f.Primed() || f.Value() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	if got := f.Observe(-3); got != -3 {
+		t.Fatalf("post-reset observation: %f", got)
+	}
+}
+
+func TestSNRFilterCustomAlpha(t *testing.T) {
+	f := SNRFilter{Alpha: 0.5}
+	f.Observe(0)
+	if got := f.Observe(10); got != 5 {
+		t.Fatalf("alpha 0.5 step: %f", got)
+	}
+}

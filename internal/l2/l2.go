@@ -1,0 +1,673 @@
+// Package l2 implements the vRAN's layer-2: a per-TTI MAC scheduler (grant
+// allocation, link adaptation, HARQ management) and RLC termination for
+// uplink and downlink bearers. It is the component the paper's testbed
+// runs as the CapGemini 5G stack: it drives the PHY through per-slot FAPI
+// requests issued a fixed number of slots ahead, and reacts to CRC and UCI
+// indications.
+package l2
+
+import (
+	"slingshot/internal/dsp"
+	"slingshot/internal/fapi"
+	"slingshot/internal/phy"
+	"slingshot/internal/rlc"
+	"slingshot/internal/sim"
+)
+
+// Config parameterizes the L2.
+type Config struct {
+	ServerID uint8
+	// ScheduleLead is how many slots ahead configs are issued (FlexRAN
+	// budgets one TTI for FAPI transfer; we use 2 for network transit).
+	ScheduleLead uint64
+	// MaxHARQTx is the transmission budget per transport block (1
+	// original + 3 retransmissions, §4.2).
+	MaxHARQTx int
+	// FeedbackTimeoutSlots releases a HARQ process whose CRC/ACK never
+	// arrived (PHY died mid-pipeline).
+	FeedbackTimeoutSlots uint64
+	// PerUEPRBCap bounds one UE's allocation.
+	PerUEPRBCap int
+	// FixedULMod / FixedDLMod pin the modulation (0 = adaptive).
+	FixedULMod dsp.Modulation
+	FixedDLMod dsp.Modulation
+	// MCSMarginDB backs off the link-adaptation thresholds.
+	MCSMarginDB float64
+}
+
+// DefaultConfig returns the standard L2 configuration.
+func DefaultConfig(server uint8) Config {
+	return Config{
+		ServerID:             server,
+		ScheduleLead:         2,
+		MaxHARQTx:            4,
+		FeedbackTimeoutSlots: 30,
+		PerUEPRBCap:          dsp.MaxPRB,
+		MCSMarginDB:          2,
+	}
+}
+
+// Stats counts L2 activity.
+type Stats struct {
+	ULGrants    uint64
+	ULRetx      uint64
+	ULCrcOK     uint64
+	ULCrcFail   uint64
+	ULGiveUps   uint64
+	DLTBs       uint64
+	DLRetx      uint64
+	DLAcks      uint64
+	DLNacks     uint64
+	DLGiveUps   uint64
+	PacketsUp   uint64
+	PacketsDown uint64
+	FeedbackTO  uint64
+	SlotsDriven uint64
+}
+
+const numHARQ = 16
+
+type procState uint8
+
+const (
+	procFree procState = iota
+	procWaiting
+	procNeedRetx
+)
+
+type ulProc struct {
+	state     procState
+	txCount   int
+	grantSlot uint64
+	alloc     dsp.Allocation
+	tbBytes   uint32
+}
+
+type dlProc struct {
+	state    procState
+	txCount  int
+	sentSlot uint64
+	pdu      []byte
+	alloc    dsp.Allocation
+	tbBytes  uint32
+}
+
+type ueCtx struct {
+	id    uint16
+	dlTx  *rlc.Tx
+	ulRx  *rlc.Rx
+	ulSNR float64
+	dlCQI float64
+	// snrKnown gates link adaptation until the first report.
+	ulKnown, dlKnown bool
+
+	ulHARQ [numHARQ]ulProc
+	dlHARQ [numHARQ]dlProc
+
+	ulGapSince sim.Time
+}
+
+type cellCtx struct {
+	id         uint16
+	seed       uint64
+	configured bool
+	started    bool
+	ues        map[uint16]*ueCtx
+	ueOrder    []uint16 // deterministic scheduling order
+}
+
+// L2 is the MAC/RLC process.
+type L2 struct {
+	Cfg    Config
+	Engine *sim.Engine
+	Stats  Stats
+
+	// SendFAPI delivers requests to the L2-side Orion over SHM.
+	SendFAPI func(fapi.Message)
+	// OnUplinkPacket receives in-order uplink packets (towards the core
+	// network / application server).
+	OnUplinkPacket func(cell, ue uint16, pkt []byte)
+	// Trace, when set, observes scheduler decisions (debugging aid).
+	Trace func(format string, args ...any)
+
+	cells     map[uint16]*cellCtx
+	stopClock func()
+}
+
+// New creates an L2.
+func New(e *sim.Engine, cfg Config) *L2 {
+	if cfg.ScheduleLead == 0 {
+		cfg.ScheduleLead = 2
+	}
+	if cfg.MaxHARQTx == 0 {
+		cfg.MaxHARQTx = 4
+	}
+	if cfg.FeedbackTimeoutSlots == 0 {
+		cfg.FeedbackTimeoutSlots = 30
+	}
+	if cfg.PerUEPRBCap == 0 {
+		cfg.PerUEPRBCap = dsp.MaxPRB
+	}
+	return &L2{Cfg: cfg, Engine: e, cells: make(map[uint16]*cellCtx)}
+}
+
+// AddCell onboards an RU: sends the CONFIG/START requests that Orion
+// intercepts and duplicates to the primary and secondary PHYs.
+func (l *L2) AddCell(cell uint16, seed uint64, mantissa uint8) {
+	l.cells[cell] = &cellCtx{id: cell, seed: seed, ues: make(map[uint16]*ueCtx)}
+	l.fapiOut(&fapi.ConfigRequest{
+		CellID: cell, NumPRB: dsp.MaxPRB, MantissaBits: mantissa, Seed: seed,
+	})
+	l.fapiOut(&fapi.StartRequest{CellID: cell})
+}
+
+// Start begins the scheduler clock at the next slot boundary.
+func (l *L2) Start() {
+	if l.stopClock != nil {
+		return
+	}
+	now := l.Engine.Now()
+	next := (now + phy.TTI - 1) / phy.TTI * phy.TTI
+	l.stopClock = l.Engine.Every(next-now, phy.TTI, "l2.slot", l.onSlot)
+}
+
+// Stop halts the scheduler (teardown or crash emulation).
+func (l *L2) Stop() {
+	if l.stopClock != nil {
+		l.stopClock()
+		l.stopClock = nil
+	}
+}
+
+// AttachUE creates MAC/RLC context for a UE (RRC connection complete).
+func (l *L2) AttachUE(cell, ue uint16) bool {
+	c := l.cells[cell]
+	if c == nil {
+		return false
+	}
+	if _, dup := c.ues[ue]; dup {
+		return true
+	}
+	c.ues[ue] = &ueCtx{id: ue, dlTx: rlc.NewTx(), ulRx: rlc.NewRx()}
+	c.ueOrder = append(c.ueOrder, ue)
+	return true
+}
+
+// DetachUE tears down a UE's context.
+func (l *L2) DetachUE(cell, ue uint16) {
+	c := l.cells[cell]
+	if c == nil {
+		return
+	}
+	delete(c.ues, ue)
+	for i, id := range c.ueOrder {
+		if id == ue {
+			c.ueOrder = append(c.ueOrder[:i], c.ueOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// Attached reports whether the UE has L2 context.
+func (l *L2) Attached(cell, ue uint16) bool {
+	c := l.cells[cell]
+	if c == nil {
+		return false
+	}
+	_, ok := c.ues[ue]
+	return ok
+}
+
+// SendDownlink enqueues a downlink packet for a UE. It reports whether the
+// UE had a bearer (otherwise the packet is dropped, as the core would).
+func (l *L2) SendDownlink(cell, ue uint16, pkt []byte) bool {
+	c := l.cells[cell]
+	if c == nil {
+		return false
+	}
+	u := c.ues[ue]
+	if u == nil {
+		return false
+	}
+	l.Stats.PacketsDown++
+	u.dlTx.Enqueue(pkt)
+	return true
+}
+
+// DLBacklog returns a UE's queued downlink bytes.
+func (l *L2) DLBacklog(cell, ue uint16) int {
+	if c := l.cells[cell]; c != nil {
+		if u := c.ues[ue]; u != nil {
+			return u.dlTx.Backlog()
+		}
+	}
+	return 0
+}
+
+func (l *L2) fapiOut(m fapi.Message) {
+	if l.SendFAPI != nil {
+		l.SendFAPI(m)
+	}
+}
+
+// onSlot runs the scheduler: at slot N it issues the configs for slot
+// N+ScheduleLead.
+func (l *L2) onSlot() {
+	now := phy.SlotAt(l.Engine.Now())
+	target := now + l.Cfg.ScheduleLead
+	for _, c := range l.cells {
+		l.Stats.SlotsDriven++
+		l.expireFeedback(c, now)
+		l.scheduleSlot(c, target)
+		l.superviseRLC(c)
+	}
+}
+
+func (l *L2) scheduleSlot(c *cellCtx, slot uint64) {
+	ul := &fapi.ULConfig{CellID: c.id, Slot: slot}
+	dl := &fapi.DLConfig{CellID: c.id, Slot: slot}
+	tx := &fapi.TxData{CellID: c.id, Slot: slot}
+
+	switch phy.KindOf(slot) {
+	case phy.SlotUL:
+		l.scheduleUplink(c, slot, ul)
+	case phy.SlotDL:
+		l.scheduleDownlink(c, slot, dl, tx)
+	}
+	// Both configs go every slot: a PHY must receive valid (possibly
+	// null) requests each TTI (§6.2).
+	l.fapiOut(ul)
+	l.fapiOut(dl)
+	if len(tx.Payloads) > 0 {
+		l.fapiOut(tx)
+	}
+}
+
+// scheduleUplink grants the UL slot's resources: HARQ retransmissions
+// first, then new data, with an equal PRB share per UE.
+func (l *L2) scheduleUplink(c *cellCtx, slot uint64, ul *fapi.ULConfig) {
+	if len(c.ueOrder) == 0 {
+		return
+	}
+	share := l.prbShare(len(c.ueOrder))
+	startPRB := 0
+	for _, id := range c.ueOrder {
+		u := c.ues[id]
+		mod := l.ulMod(u)
+		alloc := dsp.Allocation{
+			UEID: id, StartPRB: startPRB, NumPRB: share, Mod: mod,
+		}
+		startPRB += share
+		tbBytes := tbSizeBytes(alloc)
+
+		// Retransmission needed?
+		retx := -1
+		for p := range u.ulHARQ {
+			if u.ulHARQ[p].state == procNeedRetx {
+				retx = p
+				break
+			}
+		}
+		if retx >= 0 {
+			proc := &u.ulHARQ[retx]
+			// Reuse the original TB size so the UE resends the stored TB.
+			proc.state = procWaiting
+			proc.txCount++
+			proc.grantSlot = slot
+			alloc.Mod = proc.alloc.Mod
+			ul.PDUs = append(ul.PDUs, fapi.PDU{
+				UEID: id, HARQID: uint8(retx), Rv: uint8(proc.txCount - 1),
+				NewData: false, Alloc: alloc, TBBytes: proc.tbBytes,
+			})
+			l.Stats.ULRetx++
+			l.Stats.ULGrants++
+			continue
+		}
+		// New data on a free process.
+		free := -1
+		for p := range u.ulHARQ {
+			if u.ulHARQ[p].state == procFree {
+				free = p
+				break
+			}
+		}
+		if free < 0 {
+			continue // all processes in flight; skip this slot
+		}
+		proc := &u.ulHARQ[free]
+		*proc = ulProc{state: procWaiting, txCount: 1, grantSlot: slot, alloc: alloc, tbBytes: uint32(tbBytes)}
+		ul.PDUs = append(ul.PDUs, fapi.PDU{
+			UEID: id, HARQID: uint8(free), Rv: 0, NewData: true,
+			Alloc: alloc, TBBytes: uint32(tbBytes),
+		})
+		l.Stats.ULGrants++
+	}
+}
+
+// scheduleDownlink fills the DL slot for backlogged UEs.
+func (l *L2) scheduleDownlink(c *cellCtx, slot uint64, dl *fapi.DLConfig, tx *fapi.TxData) {
+	// Retransmissions first, then new data for backlogged UEs.
+	type work struct {
+		u    *ueCtx
+		proc int
+		retx bool
+	}
+	var items []work
+	for _, id := range c.ueOrder {
+		u := c.ues[id]
+		for p := range u.dlHARQ {
+			if u.dlHARQ[p].state == procNeedRetx {
+				items = append(items, work{u, p, true})
+				break
+			}
+		}
+	}
+	for _, id := range c.ueOrder {
+		u := c.ues[id]
+		if u.dlTx.Backlog() == 0 {
+			continue
+		}
+		free := -1
+		for p := range u.dlHARQ {
+			if u.dlHARQ[p].state == procFree {
+				free = p
+				break
+			}
+		}
+		if free >= 0 {
+			items = append(items, work{u, free, false})
+		}
+	}
+	if len(items) == 0 {
+		return
+	}
+	share := l.prbShare(len(items))
+	startPRB := 0
+	for _, it := range items {
+		u := it.u
+		proc := &u.dlHARQ[it.proc]
+		if it.retx {
+			alloc := proc.alloc
+			alloc.StartPRB = startPRB
+			startPRB += alloc.NumPRB
+			proc.state = procWaiting
+			proc.txCount++
+			proc.sentSlot = slot
+			if l.Trace != nil {
+				l.Trace("slot=%d DL retx ue=%d harq=%d tx=%d", slot, u.id, it.proc, proc.txCount)
+			}
+			dl.PDUs = append(dl.PDUs, fapi.PDU{
+				UEID: u.id, HARQID: uint8(it.proc), Rv: uint8(proc.txCount - 1),
+				NewData: false, Alloc: alloc, TBBytes: proc.tbBytes,
+			})
+			tx.Payloads = append(tx.Payloads, fapi.TBPayload{
+				UEID: u.id, HARQID: uint8(it.proc), Data: proc.pdu,
+			})
+			l.Stats.DLRetx++
+			l.Stats.DLTBs++
+			continue
+		}
+		mod := l.dlMod(u)
+		alloc := dsp.Allocation{UEID: u.id, StartPRB: startPRB, NumPRB: share, Mod: mod}
+		startPRB += share
+		tbBytes := tbSizeBytes(alloc)
+		pdu := u.dlTx.BuildPDU(tbBytes)
+		*proc = dlProc{
+			state: procWaiting, txCount: 1, sentSlot: slot,
+			pdu: pdu, alloc: alloc, tbBytes: uint32(tbBytes),
+		}
+		dl.PDUs = append(dl.PDUs, fapi.PDU{
+			UEID: u.id, HARQID: uint8(it.proc), Rv: 0, NewData: true,
+			Alloc: alloc, TBBytes: uint32(tbBytes),
+		})
+		tx.Payloads = append(tx.Payloads, fapi.TBPayload{
+			UEID: u.id, HARQID: uint8(it.proc), Data: pdu,
+		})
+		l.Stats.DLTBs++
+	}
+}
+
+// prbShare splits the carrier among n users.
+func (l *L2) prbShare(n int) int {
+	share := dsp.MaxPRB / n
+	if share > l.Cfg.PerUEPRBCap {
+		share = l.Cfg.PerUEPRBCap
+	}
+	if share < 1 {
+		share = 1
+	}
+	return share
+}
+
+// tbSizeBytes returns the transport-block size an allocation carries at
+// the sampled code rate (1/2).
+func tbSizeBytes(a dsp.Allocation) int {
+	bits := a.DataBits() / 2
+	bytes := bits / 8
+	if bytes < 8 {
+		bytes = 8
+	}
+	return bytes
+}
+
+// Link adaptation thresholds (dB) for the sampled rate-1/2 code,
+// calibrated against internal/phy's codec (see TestMCSThresholds).
+var mcsThresholds = []struct {
+	mod dsp.Modulation
+	snr float64
+}{
+	{dsp.QAM256, 26},
+	{dsp.QAM64, 20},
+	{dsp.QAM16, 13.5},
+	{dsp.QPSK, -100},
+}
+
+func modForSNR(snr, margin float64) dsp.Modulation {
+	for _, t := range mcsThresholds {
+		if snr-margin >= t.snr {
+			return t.mod
+		}
+	}
+	return dsp.QPSK
+}
+
+func (l *L2) ulMod(u *ueCtx) dsp.Modulation {
+	if l.Cfg.FixedULMod != 0 {
+		return l.Cfg.FixedULMod
+	}
+	if !u.ulKnown {
+		return dsp.QPSK
+	}
+	return modForSNR(u.ulSNR, l.Cfg.MCSMarginDB)
+}
+
+func (l *L2) dlMod(u *ueCtx) dsp.Modulation {
+	if l.Cfg.FixedDLMod != 0 {
+		return l.Cfg.FixedDLMod
+	}
+	if !u.dlKnown {
+		return dsp.QPSK
+	}
+	return modForSNR(u.dlCQI, l.Cfg.MCSMarginDB)
+}
+
+// HandleFAPI processes PHY responses delivered by the L2-side Orion.
+func (l *L2) HandleFAPI(m fapi.Message) {
+	c := l.cells[m.Cell()]
+	if c == nil {
+		return
+	}
+	switch msg := m.(type) {
+	case *fapi.ConfigResponse:
+		c.configured = c.configured || msg.OK
+	case *fapi.CRCIndication:
+		l.handleCRC(c, msg)
+	case *fapi.RxData:
+		l.handleRxData(c, msg)
+	case *fapi.UCIIndication:
+		l.handleUCI(c, msg)
+	}
+}
+
+func (l *L2) handleCRC(c *cellCtx, msg *fapi.CRCIndication) {
+	for _, res := range msg.Results {
+		u := c.ues[res.UEID]
+		if u == nil {
+			continue
+		}
+		u.ulSNR = float64(res.SNRdB)
+		u.ulKnown = true
+		proc := &u.ulHARQ[res.HARQID%numHARQ]
+		if proc.state != procWaiting {
+			continue
+		}
+		if res.OK {
+			l.Stats.ULCrcOK++
+			proc.state = procFree
+		} else {
+			l.Stats.ULCrcFail++
+			if proc.txCount >= l.Cfg.MaxHARQTx {
+				l.Stats.ULGiveUps++
+				proc.state = procFree
+			} else {
+				proc.state = procNeedRetx
+			}
+		}
+	}
+}
+
+func (l *L2) handleRxData(c *cellCtx, msg *fapi.RxData) {
+	for _, pl := range msg.Payloads {
+		u := c.ues[pl.UEID]
+		if u == nil {
+			continue
+		}
+		pkts, err := u.ulRx.Ingest(pl.Data)
+		if err != nil {
+			continue
+		}
+		for _, pkt := range pkts {
+			l.Stats.PacketsUp++
+			if l.OnUplinkPacket != nil {
+				l.OnUplinkPacket(c.id, pl.UEID, pkt)
+			}
+		}
+	}
+}
+
+func (l *L2) handleUCI(c *cellCtx, msg *fapi.UCIIndication) {
+	for _, r := range msg.Reports {
+		u := c.ues[r.UEID]
+		if u == nil {
+			continue
+		}
+		if r.CQIdB != 0 {
+			u.dlCQI = float64(r.CQIdB)
+			u.dlKnown = true
+		}
+		if !r.HasFeedback {
+			continue
+		}
+		proc := &u.dlHARQ[r.HARQID%numHARQ]
+		if proc.state != procWaiting {
+			continue
+		}
+		if r.ACK {
+			l.Stats.DLAcks++
+			proc.state = procFree
+			proc.pdu = nil
+		} else {
+			l.Stats.DLNacks++
+			if proc.txCount >= l.Cfg.MaxHARQTx {
+				l.Stats.DLGiveUps++
+				proc.state = procFree
+				proc.pdu = nil
+			} else {
+				proc.state = procNeedRetx
+			}
+		}
+	}
+}
+
+// expireFeedback frees HARQ processes whose feedback never arrived.
+func (l *L2) expireFeedback(c *cellCtx, now uint64) {
+	for _, u := range c.ues {
+		for p := range u.ulHARQ {
+			proc := &u.ulHARQ[p]
+			if proc.state == procWaiting && proc.grantSlot+l.Cfg.FeedbackTimeoutSlots < now {
+				l.Stats.FeedbackTO++
+				if proc.txCount < l.Cfg.MaxHARQTx {
+					proc.state = procNeedRetx
+				} else {
+					proc.state = procFree
+				}
+			}
+		}
+		for p := range u.dlHARQ {
+			proc := &u.dlHARQ[p]
+			if proc.state == procWaiting && proc.sentSlot+l.Cfg.FeedbackTimeoutSlots < now {
+				l.Stats.FeedbackTO++
+				if l.Trace != nil {
+					l.Trace("slot=%d DL feedback timeout ue=%d harq=%d tx=%d", now, u.id, p, proc.txCount)
+				}
+				// Feedback lost: retransmit once more if budget remains,
+				// otherwise release (TCP/RLC recovers).
+				if proc.txCount < l.Cfg.MaxHARQTx {
+					proc.state = procNeedRetx
+				} else {
+					proc.state = procFree
+					proc.pdu = nil
+				}
+			}
+		}
+	}
+}
+
+// superviseRLC skips stuck uplink reassembly gaps.
+func (l *L2) superviseRLC(c *cellCtx) {
+	now := l.Engine.Now()
+	for _, u := range c.ues {
+		if !u.ulRx.HasGap() {
+			u.ulGapSince = 0
+			continue
+		}
+		if u.ulGapSince == 0 {
+			u.ulGapSince = now
+			continue
+		}
+		if now-u.ulGapSince > 20*sim.Millisecond {
+			pkts := u.ulRx.SkipGap()
+			u.ulGapSince = 0
+			for _, pkt := range pkts {
+				l.Stats.PacketsUp++
+				if l.OnUplinkPacket != nil {
+					l.OnUplinkPacket(c.id, u.id, pkt)
+				}
+			}
+		}
+	}
+}
+
+// UESnapshot reports a UE's link-adaptation state (for experiments).
+type UESnapshot struct {
+	ULSNRdB float64
+	DLCQIdB float64
+	ULMod   dsp.Modulation
+	DLMod   dsp.Modulation
+}
+
+// Snapshot returns the link state of a UE.
+func (l *L2) Snapshot(cell, ue uint16) (UESnapshot, bool) {
+	c := l.cells[cell]
+	if c == nil {
+		return UESnapshot{}, false
+	}
+	u := c.ues[ue]
+	if u == nil {
+		return UESnapshot{}, false
+	}
+	return UESnapshot{
+		ULSNRdB: u.ulSNR, DLCQIdB: u.dlCQI,
+		ULMod: l.ulMod(u), DLMod: l.dlMod(u),
+	}, true
+}

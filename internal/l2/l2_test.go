@@ -1,0 +1,390 @@
+package l2
+
+import (
+	"testing"
+
+	"slingshot/internal/dsp"
+	"slingshot/internal/fapi"
+	"slingshot/internal/phy"
+	"slingshot/internal/rlc"
+	"slingshot/internal/sim"
+)
+
+// newTestSegmenter builds PDUs the way a UE's RLC transmitter does.
+func newTestSegmenter() *rlc.Tx { return rlc.NewTx() }
+
+// rig drives an L2 with captured FAPI output.
+type rig struct {
+	e    *sim.Engine
+	l2   *L2
+	out  []fapi.Message
+	up   [][]byte
+	upUE []uint16
+}
+
+func newRig(t *testing.T, tweak func(*Config)) *rig {
+	t.Helper()
+	r := &rig{e: sim.NewEngine()}
+	cfg := DefaultConfig(10)
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	r.l2 = New(r.e, cfg)
+	r.l2.SendFAPI = func(m fapi.Message) { r.out = append(r.out, m) }
+	r.l2.OnUplinkPacket = func(cell, ue uint16, pkt []byte) {
+		r.up = append(r.up, pkt)
+		r.upUE = append(r.upUE, ue)
+	}
+	return r
+}
+
+func (r *rig) ulConfigs() []*fapi.ULConfig {
+	var out []*fapi.ULConfig
+	for _, m := range r.out {
+		if ul, ok := m.(*fapi.ULConfig); ok {
+			out = append(out, ul)
+		}
+	}
+	return out
+}
+
+func (r *rig) dlConfigs() []*fapi.DLConfig {
+	var out []*fapi.DLConfig
+	for _, m := range r.out {
+		if dl, ok := m.(*fapi.DLConfig); ok {
+			out = append(out, dl)
+		}
+	}
+	return out
+}
+
+func TestAddCellSendsConfigAndStart(t *testing.T) {
+	r := newRig(t, nil)
+	r.l2.AddCell(0, 7, 9)
+	if len(r.out) != 2 {
+		t.Fatalf("messages = %d", len(r.out))
+	}
+	cfg, ok := r.out[0].(*fapi.ConfigRequest)
+	if !ok || cfg.Seed != 7 || cfg.MantissaBits != 9 || cfg.NumPRB != dsp.MaxPRB {
+		t.Fatalf("config = %+v", r.out[0])
+	}
+	if _, ok := r.out[1].(*fapi.StartRequest); !ok {
+		t.Fatalf("second message = %v", r.out[1].Kind())
+	}
+}
+
+func TestConfigsEverySlotEvenWithoutUEs(t *testing.T) {
+	r := newRig(t, nil)
+	r.l2.AddCell(0, 7, 9)
+	r.l2.Start()
+	r.e.RunUntil(10 * phy.TTI)
+	r.l2.Stop()
+	uls, dls := r.ulConfigs(), r.dlConfigs()
+	if len(uls) < 9 || len(dls) < 9 {
+		t.Fatalf("configs: %d UL, %d DL over 10 slots", len(uls), len(dls))
+	}
+	for _, ul := range uls {
+		if !ul.Null() {
+			t.Fatal("non-null UL config with no UEs")
+		}
+	}
+	// Slots must be scheduled ahead with the configured lead.
+	if uls[0].Slot != r.l2.Cfg.ScheduleLead {
+		t.Fatalf("first scheduled slot = %d", uls[0].Slot)
+	}
+}
+
+func TestUplinkGrantsOnULSlotsOnly(t *testing.T) {
+	r := newRig(t, nil)
+	r.l2.AddCell(0, 7, 9)
+	r.l2.AttachUE(0, 1)
+	r.l2.Start()
+	r.e.RunUntil(25 * phy.TTI)
+	r.l2.Stop()
+	for _, ul := range r.ulConfigs() {
+		if ul.Null() {
+			if phy.KindOf(ul.Slot) == phy.SlotUL {
+				t.Fatalf("UL slot %d got no grant", ul.Slot)
+			}
+			continue
+		}
+		if phy.KindOf(ul.Slot) != phy.SlotUL {
+			t.Fatalf("grant on non-UL slot %d", ul.Slot)
+		}
+		if len(ul.PDUs) != 1 || ul.PDUs[0].UEID != 1 || !ul.PDUs[0].NewData {
+			t.Fatalf("grant = %+v", ul.PDUs)
+		}
+		if ul.PDUs[0].Alloc.Mod != dsp.QPSK {
+			t.Fatalf("initial MCS = %v, want QPSK before SNR reports", ul.PDUs[0].Alloc.Mod)
+		}
+	}
+}
+
+func TestUplinkHARQRetransmission(t *testing.T) {
+	r := newRig(t, nil)
+	r.l2.AddCell(0, 7, 9)
+	r.l2.AttachUE(0, 1)
+	r.l2.Start()
+	// Run until the first grant exists, then report CRC failure.
+	r.e.RunUntil(5 * phy.TTI)
+	grants := r.ulConfigs()
+	var first *fapi.ULConfig
+	for _, ul := range grants {
+		if !ul.Null() {
+			first = ul
+			break
+		}
+	}
+	if first == nil {
+		t.Fatal("no grant issued")
+	}
+	r.l2.HandleFAPI(&fapi.CRCIndication{CellID: 0, Slot: first.Slot,
+		Results: []fapi.CRCResult{{UEID: 1, HARQID: first.PDUs[0].HARQID, OK: false, SNRdB: 10}}})
+	r.e.RunUntil(12 * phy.TTI)
+	r.l2.Stop()
+
+	found := false
+	for _, ul := range r.ulConfigs() {
+		for _, pdu := range ul.PDUs {
+			if !pdu.NewData && pdu.HARQID == first.PDUs[0].HARQID {
+				found = true
+				if pdu.Rv != 1 {
+					t.Fatalf("retx Rv = %d", pdu.Rv)
+				}
+				if pdu.TBBytes != first.PDUs[0].TBBytes {
+					t.Fatal("retx TB size changed")
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no retransmission grant after CRC failure")
+	}
+	if r.l2.Stats.ULRetx != 1 {
+		t.Fatalf("ULRetx = %d", r.l2.Stats.ULRetx)
+	}
+}
+
+func TestUplinkHARQGiveUpAfterMaxTx(t *testing.T) {
+	r := newRig(t, nil)
+	r.l2.AddCell(0, 7, 9)
+	r.l2.AttachUE(0, 1)
+	r.l2.Start()
+	// Fail every CRC; after MaxHARQTx the process must be released.
+	stop := r.e.Every(0, phy.TTI, "nack", func() {
+		for _, m := range r.out {
+			ul, ok := m.(*fapi.ULConfig)
+			if !ok || ul.Null() {
+				continue
+			}
+			r.l2.HandleFAPI(&fapi.CRCIndication{CellID: 0, Slot: ul.Slot,
+				Results: []fapi.CRCResult{{UEID: 1, HARQID: ul.PDUs[0].HARQID, OK: false, SNRdB: 5}}})
+		}
+		r.out = nil
+	})
+	r.e.RunUntil(60 * phy.TTI)
+	stop()
+	r.l2.Stop()
+	if r.l2.Stats.ULGiveUps == 0 {
+		t.Fatal("no HARQ give-up despite persistent failures")
+	}
+}
+
+func TestDownlinkSchedulingAndPayloads(t *testing.T) {
+	r := newRig(t, nil)
+	r.l2.AddCell(0, 7, 9)
+	r.l2.AttachUE(0, 1)
+	r.l2.SendDownlink(0, 1, []byte("downlink data"))
+	r.l2.Start()
+	r.e.RunUntil(10 * phy.TTI)
+	r.l2.Stop()
+	var dl *fapi.DLConfig
+	var tx *fapi.TxData
+	for _, m := range r.out {
+		if d, ok := m.(*fapi.DLConfig); ok && !d.Null() {
+			dl = d
+		}
+		if x, ok := m.(*fapi.TxData); ok {
+			tx = x
+		}
+	}
+	if dl == nil || tx == nil {
+		t.Fatal("no DL schedule for backlogged UE")
+	}
+	if phy.KindOf(dl.Slot) != phy.SlotDL {
+		t.Fatalf("DL PDU on slot kind %v", phy.KindOf(dl.Slot))
+	}
+	if tx.Slot != dl.Slot || len(tx.Payloads) != 1 {
+		t.Fatalf("TxData mismatched: %+v", tx)
+	}
+}
+
+func TestDownlinkNackRetransmitsSamePDU(t *testing.T) {
+	r := newRig(t, nil)
+	r.l2.AddCell(0, 7, 9)
+	r.l2.AttachUE(0, 1)
+	r.l2.SendDownlink(0, 1, []byte("retransmit me"))
+	r.l2.Start()
+	r.e.RunUntil(10 * phy.TTI)
+	var orig *fapi.TxData
+	for _, m := range r.out {
+		if x, ok := m.(*fapi.TxData); ok {
+			orig = x
+			break
+		}
+	}
+	if orig == nil {
+		t.Fatal("no initial DL TB")
+	}
+	r.l2.HandleFAPI(&fapi.UCIIndication{CellID: 0, Slot: orig.Slot + 4,
+		Reports: []fapi.UCI{{UEID: 1, HARQID: orig.Payloads[0].HARQID, HasFeedback: true, ACK: false, CQIdB: 20}}})
+	r.out = nil
+	r.e.RunUntil(20 * phy.TTI)
+	r.l2.Stop()
+	for _, m := range r.out {
+		if x, ok := m.(*fapi.TxData); ok {
+			if string(x.Payloads[0].Data) == string(orig.Payloads[0].Data) {
+				return // same PDU retransmitted
+			}
+		}
+	}
+	t.Fatal("NACKed PDU never retransmitted")
+}
+
+func TestRxDataDeliversPackets(t *testing.T) {
+	r := newRig(t, nil)
+	r.l2.AddCell(0, 7, 9)
+	r.l2.AttachUE(0, 1)
+	// Craft a PDU via the UE-side segmenter.
+	tx := newTestSegmenter()
+	tx.Enqueue([]byte("uplink packet"))
+	pdu := tx.BuildPDU(100)
+	r.l2.HandleFAPI(&fapi.RxData{CellID: 0, Slot: 4,
+		Payloads: []fapi.TBPayload{{UEID: 1, Data: pdu}}})
+	if len(r.up) != 1 || string(r.up[0]) != "uplink packet" {
+		t.Fatalf("uplink delivery = %q", r.up)
+	}
+	if r.upUE[0] != 1 {
+		t.Fatalf("wrong UE id %d", r.upUE[0])
+	}
+}
+
+func TestMCSAdaptsToSNR(t *testing.T) {
+	r := newRig(t, nil)
+	r.l2.AddCell(0, 7, 9)
+	r.l2.AttachUE(0, 1)
+	r.l2.HandleFAPI(&fapi.CRCIndication{CellID: 0, Slot: 4,
+		Results: []fapi.CRCResult{{UEID: 1, HARQID: 0, OK: true, SNRdB: 30}}})
+	snap, ok := r.l2.Snapshot(0, 1)
+	if !ok {
+		t.Fatal("no snapshot")
+	}
+	if snap.ULMod != dsp.QAM256 {
+		t.Fatalf("ULMod at 30 dB = %v", snap.ULMod)
+	}
+	r.l2.HandleFAPI(&fapi.CRCIndication{CellID: 0, Slot: 9,
+		Results: []fapi.CRCResult{{UEID: 1, HARQID: 1, OK: true, SNRdB: 8}}})
+	snap, _ = r.l2.Snapshot(0, 1)
+	if snap.ULMod != dsp.QPSK {
+		t.Fatalf("ULMod at 8 dB = %v", snap.ULMod)
+	}
+	// CQI drives the DL side.
+	r.l2.HandleFAPI(&fapi.UCIIndication{CellID: 0, Slot: 9,
+		Reports: []fapi.UCI{{UEID: 1, CQIdB: 23}}})
+	snap, _ = r.l2.Snapshot(0, 1)
+	if snap.DLMod != dsp.QAM64 {
+		t.Fatalf("DLMod at 23 dB = %v", snap.DLMod)
+	}
+}
+
+func TestFixedModOverrides(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.FixedULMod = dsp.QAM64 })
+	r.l2.AddCell(0, 7, 9)
+	r.l2.AttachUE(0, 1)
+	snap, _ := r.l2.Snapshot(0, 1)
+	if snap.ULMod != dsp.QAM64 {
+		t.Fatalf("fixed ULMod = %v", snap.ULMod)
+	}
+}
+
+func TestFeedbackTimeoutTriggersRetx(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.FeedbackTimeoutSlots = 10 })
+	r.l2.AddCell(0, 7, 9)
+	r.l2.AttachUE(0, 1)
+	r.l2.Start()
+	r.e.RunUntil(40 * phy.TTI) // grants never acknowledged
+	r.l2.Stop()
+	if r.l2.Stats.FeedbackTO == 0 {
+		t.Fatal("no feedback timeouts despite silent PHY")
+	}
+	if r.l2.Stats.ULRetx == 0 {
+		t.Fatal("timeout did not trigger retransmission")
+	}
+}
+
+func TestDetachStopsScheduling(t *testing.T) {
+	r := newRig(t, nil)
+	r.l2.AddCell(0, 7, 9)
+	r.l2.AttachUE(0, 1)
+	if !r.l2.Attached(0, 1) {
+		t.Fatal("not attached")
+	}
+	r.l2.DetachUE(0, 1)
+	if r.l2.Attached(0, 1) {
+		t.Fatal("still attached")
+	}
+	r.l2.Start()
+	r.e.RunUntil(10 * phy.TTI)
+	r.l2.Stop()
+	for _, ul := range r.ulConfigs() {
+		if !ul.Null() {
+			t.Fatal("grant for detached UE")
+		}
+	}
+	if r.l2.SendDownlink(0, 1, []byte("x")) {
+		t.Fatal("SendDownlink accepted for detached UE")
+	}
+}
+
+func TestMultiUEFairShare(t *testing.T) {
+	r := newRig(t, nil)
+	r.l2.AddCell(0, 7, 9)
+	for ue := uint16(1); ue <= 3; ue++ {
+		r.l2.AttachUE(0, ue)
+	}
+	r.l2.Start()
+	r.e.RunUntil(10 * phy.TTI)
+	r.l2.Stop()
+	for _, ul := range r.ulConfigs() {
+		if ul.Null() {
+			continue
+		}
+		if len(ul.PDUs) != 3 {
+			t.Fatalf("UL slot %d grants %d UEs", ul.Slot, len(ul.PDUs))
+		}
+		share := dsp.MaxPRB / 3
+		used := map[int]bool{}
+		for _, pdu := range ul.PDUs {
+			if pdu.Alloc.NumPRB != share {
+				t.Fatalf("share = %d, want %d", pdu.Alloc.NumPRB, share)
+			}
+			for i := pdu.Alloc.StartPRB; i < pdu.Alloc.StartPRB+pdu.Alloc.NumPRB; i++ {
+				if used[i] {
+					t.Fatal("overlapping allocations")
+				}
+				used[i] = true
+			}
+		}
+	}
+}
+
+func TestUnknownCellIgnored(t *testing.T) {
+	r := newRig(t, nil)
+	r.l2.HandleFAPI(&fapi.CRCIndication{CellID: 5})
+	if !r.l2.AttachUE(0, 1) == false {
+		t.Fatal("attach to unknown cell succeeded")
+	}
+	if r.l2.DLBacklog(5, 1) != 0 {
+		t.Fatal("backlog for unknown cell")
+	}
+}

@@ -1,0 +1,75 @@
+package l2
+
+// Checkpoint-restore support for L2 migration — the paper's §10 direction:
+// unlike the PHY's discardable soft state, the L2 holds hard state (RLC
+// sequence spaces, queued bearers, HARQ process bookkeeping) that must be
+// preserved across a migration or upgrade. ExportState/ImportState move
+// that state between L2 instances the way a Zeus-style state-preservation
+// layer would, letting a replacement L2 take over mid-stream without
+// breaking bearers.
+
+// State is an opaque checkpoint of an L2's per-cell hard state.
+type State struct {
+	cells map[uint16]*cellCtx
+}
+
+// Cells returns the checkpointed cell ids (diagnostics).
+func (s *State) Cells() []uint16 {
+	out := make([]uint16, 0, len(s.cells))
+	for id := range s.cells {
+		out = append(out, id)
+	}
+	return out
+}
+
+// UECount returns how many UE contexts the checkpoint holds.
+func (s *State) UECount() int {
+	n := 0
+	for _, c := range s.cells {
+		n += len(c.ues)
+	}
+	return n
+}
+
+// ExportState deep-copies the L2's hard state. The L2 keeps running; the
+// caller decides when to quiesce (a consistent handoff stops the old
+// scheduler before importing on the new one).
+func (l *L2) ExportState() *State {
+	s := &State{cells: make(map[uint16]*cellCtx, len(l.cells))}
+	for id, c := range l.cells {
+		nc := &cellCtx{
+			id: c.id, seed: c.seed, configured: c.configured, started: c.started,
+			ues:     make(map[uint16]*ueCtx, len(c.ues)),
+			ueOrder: append([]uint16(nil), c.ueOrder...),
+		}
+		for uid, u := range c.ues {
+			nu := &ueCtx{
+				id:      u.id,
+				dlTx:    u.dlTx.Clone(),
+				ulRx:    u.ulRx.Clone(),
+				ulSNR:   u.ulSNR,
+				dlCQI:   u.dlCQI,
+				ulKnown: u.ulKnown,
+				dlKnown: u.dlKnown,
+			}
+			nu.ulHARQ = u.ulHARQ
+			nu.dlHARQ = u.dlHARQ
+			for p := range nu.dlHARQ {
+				nu.dlHARQ[p].pdu = append([]byte(nil), u.dlHARQ[p].pdu...)
+			}
+			nc.ues[uid] = nu
+		}
+		s.cells[id] = nc
+	}
+	return s
+}
+
+// ImportState installs a checkpoint into this L2, replacing any existing
+// cell state. The importing L2 must be configured with the same FAPI
+// plumbing (SendFAPI towards the same Orion) before Start.
+func (l *L2) ImportState(s *State) {
+	l.cells = make(map[uint16]*cellCtx, len(s.cells))
+	for id, c := range s.cells {
+		l.cells[id] = c
+	}
+}

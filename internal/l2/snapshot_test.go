@@ -1,0 +1,93 @@
+package l2
+
+import (
+	"testing"
+
+	"slingshot/internal/fapi"
+	"slingshot/internal/phy"
+	"slingshot/internal/sim"
+)
+
+func TestExportImportState(t *testing.T) {
+	r := newRig(t, nil)
+	r.l2.AddCell(0, 7, 9)
+	r.l2.AttachUE(0, 1)
+	r.l2.AttachUE(0, 2)
+	r.l2.SendDownlink(0, 1, []byte("queued downlink"))
+	r.l2.HandleFAPI(&fapi.CRCIndication{CellID: 0, Slot: 4,
+		Results: []fapi.CRCResult{{UEID: 1, HARQID: 0, OK: true, SNRdB: 21}}})
+
+	state := r.l2.ExportState()
+	if got := state.Cells(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Cells = %v", got)
+	}
+	if state.UECount() != 2 {
+		t.Fatalf("UECount = %d", state.UECount())
+	}
+
+	// Import into a fresh instance: bearers, queues and link state move.
+	fresh := New(sim.NewEngine(), DefaultConfig(10))
+	fresh.ImportState(state)
+	if !fresh.Attached(0, 1) || !fresh.Attached(0, 2) {
+		t.Fatal("imported L2 lost UE contexts")
+	}
+	if got := fresh.DLBacklog(0, 1); got != len("queued downlink") {
+		t.Fatalf("DL backlog = %d after import", got)
+	}
+	snap, ok := fresh.Snapshot(0, 1)
+	if !ok || snap.ULSNRdB != 21 {
+		t.Fatalf("link state lost: %+v ok=%v", snap, ok)
+	}
+}
+
+func TestExportIsDeepCopy(t *testing.T) {
+	r := newRig(t, nil)
+	r.l2.AddCell(0, 7, 9)
+	r.l2.AttachUE(0, 1)
+	r.l2.SendDownlink(0, 1, []byte("before"))
+	state := r.l2.ExportState()
+	// Mutating the live L2 after export must not affect the checkpoint.
+	r.l2.SendDownlink(0, 1, []byte("after"))
+	r.l2.DetachUE(0, 1)
+
+	fresh := New(sim.NewEngine(), DefaultConfig(10))
+	fresh.ImportState(state)
+	if got := fresh.DLBacklog(0, 1); got != len("before") {
+		t.Fatalf("checkpoint shares state with live L2: backlog %d", got)
+	}
+}
+
+func TestSuperviseRLCSkipsStuckGap(t *testing.T) {
+	r := newRig(t, nil)
+	r.l2.AddCell(0, 7, 9)
+	r.l2.AttachUE(0, 1)
+	r.l2.Start()
+
+	// Build two PDUs; deliver only the second so reassembly stalls.
+	tx := newTestSegmenter()
+	tx.Enqueue([]byte("lost"))
+	tx.Enqueue([]byte("held"))
+	_ = tx.BuildPDU(11) // "lost" PDU, never delivered
+	p2 := tx.BuildPDU(11)
+	r.e.At(10*phy.TTI, "rx", func() {
+		r.l2.HandleFAPI(&fapi.RxData{CellID: 0, Slot: 9,
+			Payloads: []fapi.TBPayload{{UEID: 1, Data: p2}}})
+	})
+	// The reassembly timer (20 ms) must give up the gap and deliver
+	// "held".
+	r.e.RunUntil(100 * sim.Millisecond)
+	r.l2.Stop()
+	if len(r.up) != 1 || string(r.up[0]) != "held" {
+		t.Fatalf("stuck gap not skipped: delivered %q", r.up)
+	}
+}
+
+func TestPrbShareClamps(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.PerUEPRBCap = 50 })
+	if got := r.l2.prbShare(1); got != 50 {
+		t.Fatalf("capped share = %d", got)
+	}
+	if got := r.l2.prbShare(500); got != 1 {
+		t.Fatalf("floor share = %d", got)
+	}
+}

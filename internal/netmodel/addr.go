@@ -1,0 +1,44 @@
+package netmodel
+
+// Well-known address plan for the simulated edge datacenter. vRAN
+// operators assign logical RU and PHY ids at installation time (§5.1 of
+// the paper); the deployment derives MAC addresses from those ids so every
+// component can compute its peers' addresses without discovery.
+const (
+	ruAddrBase     Addr = 0x02_00_00_00_00_00 // locally administered
+	phyAddrBase    Addr = 0x02_00_00_01_00_00
+	virtualPHYBase Addr = 0x02_00_00_02_00_00
+	orionAddrBase  Addr = 0x02_00_00_03_00_00
+	l2AddrBase     Addr = 0x02_00_00_04_00_00
+	controllerAddr Addr = 0x02_00_00_05_00_00
+)
+
+// RUAddr returns the MAC address of RU (cell) id.
+func RUAddr(cell uint16) Addr { return ruAddrBase + Addr(cell) }
+
+// PHYAddr returns the physical MAC address of PHY server id.
+func PHYAddr(id uint8) Addr { return phyAddrBase + Addr(id) }
+
+// VirtualPHYAddr returns the virtual PHY address RUs send fronthaul to for
+// cell id; the in-switch middlebox translates it to the current primary
+// PHY's physical address (§5.1).
+func VirtualPHYAddr(cell uint16) Addr { return virtualPHYBase + Addr(cell) }
+
+// OrionAddr returns the MAC address of the Orion instance on server id.
+func OrionAddr(id uint8) Addr { return orionAddrBase + Addr(id) }
+
+// L2Addr returns the MAC address of L2 server id.
+func L2Addr(id uint8) Addr { return l2AddrBase + Addr(id) }
+
+// ControllerAddr is the switch-control endpoint address used for failure
+// notifications and migrate_on_slot commands.
+func ControllerAddr() Addr { return controllerAddr }
+
+// IsVirtualPHY reports whether a is a virtual PHY address and returns the
+// cell id it names.
+func IsVirtualPHY(a Addr) (uint16, bool) {
+	if a >= virtualPHYBase && a < virtualPHYBase+0x10000 {
+		return uint16(a - virtualPHYBase), true
+	}
+	return 0, false
+}

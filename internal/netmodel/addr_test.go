@@ -1,0 +1,49 @@
+package netmodel
+
+import "testing"
+
+func TestAddressPlanDisjoint(t *testing.T) {
+	// Every address family must be disjoint from the others across the
+	// full id space — collisions would cross-wire the switch ports.
+	seen := map[Addr]string{}
+	add := func(a Addr, kind string) {
+		if prev, dup := seen[a]; dup {
+			t.Fatalf("address %v assigned to both %s and %s", a, prev, kind)
+		}
+		seen[a] = kind
+	}
+	for i := 0; i < 256; i++ {
+		add(RUAddr(uint16(i)), "ru")
+		add(PHYAddr(uint8(i)), "phy")
+		add(VirtualPHYAddr(uint16(i)), "vphy")
+		add(OrionAddr(uint8(i)), "orion")
+		add(L2Addr(uint8(i)), "l2")
+	}
+	add(ControllerAddr(), "controller")
+}
+
+func TestIsVirtualPHY(t *testing.T) {
+	for _, cell := range []uint16{0, 1, 255, 65535} {
+		got, ok := IsVirtualPHY(VirtualPHYAddr(cell))
+		if !ok || got != cell {
+			t.Fatalf("IsVirtualPHY(VirtualPHYAddr(%d)) = %d, %v", cell, got, ok)
+		}
+	}
+	if _, ok := IsVirtualPHY(PHYAddr(3)); ok {
+		t.Fatal("physical PHY address classified as virtual")
+	}
+	if _, ok := IsVirtualPHY(RUAddr(3)); ok {
+		t.Fatal("RU address classified as virtual")
+	}
+}
+
+func TestAddressesLocallyAdministered(t *testing.T) {
+	// Bit 1 of the first octet marks locally administered MACs; our plan
+	// must never collide with real vendor OUIs.
+	for _, a := range []Addr{RUAddr(0), PHYAddr(0), VirtualPHYAddr(0), OrionAddr(0), L2Addr(0), ControllerAddr()} {
+		first := byte(a >> 40)
+		if first&0x02 == 0 {
+			t.Fatalf("address %v not locally administered", a)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"slingshot/internal/sim"
+)
+
+type collector struct {
+	frames []*Frame
+	at     []sim.Time
+	e      *sim.Engine
+}
+
+func (c *collector) HandleFrame(f *Frame) {
+	c.frames = append(c.frames, f)
+	c.at = append(c.at, c.e.Now())
+}
+
+func TestAddrFormat(t *testing.T) {
+	a := Addr(0x001122334455)
+	if got := a.String(); got != "00:11:22:33:44:55" {
+		t.Fatalf("Addr.String() = %q", got)
+	}
+}
+
+func TestFrameWireSize(t *testing.T) {
+	small := &Frame{Payload: make([]byte, 10)}
+	if got := small.WireSize(); got != 84 {
+		t.Fatalf("small WireSize = %d, want 84 (64 min + 20 preamble)", got)
+	}
+	big := &Frame{Payload: make([]byte, 1500)}
+	if got := big.WireSize(); got != 1500+18+20 {
+		t.Fatalf("big WireSize = %d", got)
+	}
+}
+
+func TestLinkLatencyOnly(t *testing.T) {
+	e := sim.NewEngine()
+	c := &collector{e: e}
+	l := NewLink(e, c, 0, 5*sim.Microsecond)
+	e.At(0, "send", func() { l.Send(&Frame{Payload: []byte{1}}) })
+	e.Run()
+	if len(c.frames) != 1 {
+		t.Fatalf("delivered %d frames", len(c.frames))
+	}
+	if c.at[0] != 5*sim.Microsecond {
+		t.Fatalf("arrival at %v, want 5us", c.at[0])
+	}
+}
+
+func TestLinkSerializationDelay(t *testing.T) {
+	e := sim.NewEngine()
+	c := &collector{e: e}
+	// 1 Gbps; 1230-byte payload -> 1268B wire -> 10144 bits -> 10.144us.
+	l := NewLink(e, c, 1e9, 0)
+	e.At(0, "send", func() { l.Send(&Frame{Payload: make([]byte, 1230)}) })
+	e.Run()
+	want := sim.Time(10144)
+	if c.at[0] != want {
+		t.Fatalf("arrival at %v, want %v", c.at[0], want)
+	}
+}
+
+func TestLinkQueueingBuildsUp(t *testing.T) {
+	e := sim.NewEngine()
+	c := &collector{e: e}
+	l := NewLink(e, c, 1e9, 0)
+	e.At(0, "burst", func() {
+		for i := 0; i < 3; i++ {
+			l.Send(&Frame{Payload: make([]byte, 1230)})
+		}
+	})
+	e.Run()
+	if len(c.at) != 3 {
+		t.Fatalf("delivered %d", len(c.at))
+	}
+	per := sim.Time(10144)
+	for i, at := range c.at {
+		want := per * sim.Time(i+1)
+		if at != want {
+			t.Fatalf("frame %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestLinkQueueDelayObservation(t *testing.T) {
+	e := sim.NewEngine()
+	c := &collector{e: e}
+	l := NewLink(e, c, 1e9, 0)
+	e.At(0, "send", func() {
+		l.Send(&Frame{Payload: make([]byte, 1230)})
+		if qd := l.QueueDelay(); qd != sim.Time(10144) {
+			t.Errorf("QueueDelay = %v", qd)
+		}
+	})
+	e.Run()
+}
+
+func TestLinkLoss(t *testing.T) {
+	e := sim.NewEngine()
+	c := &collector{e: e}
+	l := NewLink(e, c, 0, 0)
+	l.LossProb = 1.0
+	l.RNG = sim.NewRNG(1)
+	e.At(0, "send", func() { l.Send(&Frame{}) })
+	e.Run()
+	if len(c.frames) != 0 || l.Dropped != 1 {
+		t.Fatalf("lossy link delivered: frames=%d dropped=%d", len(c.frames), l.Dropped)
+	}
+}
+
+func TestLinkJitterBounded(t *testing.T) {
+	e := sim.NewEngine()
+	c := &collector{e: e}
+	l := NewLink(e, c, 0, 10*sim.Microsecond)
+	l.JitterAmp = 5 * sim.Microsecond
+	l.RNG = sim.NewRNG(2)
+	e.At(0, "send", func() {
+		for i := 0; i < 100; i++ {
+			l.Send(&Frame{})
+		}
+	})
+	e.Run()
+	for _, at := range c.at {
+		if at < 10*sim.Microsecond || at > 15*sim.Microsecond {
+			t.Fatalf("jittered arrival %v out of [10us,15us]", at)
+		}
+	}
+}
+
+func TestLinkPreservesOrderProperty(t *testing.T) {
+	// Frames on one link must arrive in send order (FIFO), regardless of
+	// sizes, because serialization is sequential and latency constant.
+	f := func(sizes []uint16) bool {
+		e := sim.NewEngine()
+		c := &collector{e: e}
+		l := NewLink(e, c, 1e8, 3*sim.Microsecond)
+		e.At(0, "send", func() {
+			for i, s := range sizes {
+				p := make([]byte, int(s)%2000+1)
+				p[0] = byte(i)
+				l.Send(&Frame{Payload: p})
+			}
+		})
+		e.Run()
+		if len(c.frames) != len(sizes) {
+			return false
+		}
+		for i, fr := range c.frames {
+			if fr.Payload[0] != byte(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplex(t *testing.T) {
+	e := sim.NewEngine()
+	ca, cb := &collector{e: e}, &collector{e: e}
+	d := NewDuplex(e, ca, cb, 1e9, sim.Microsecond)
+	e.At(0, "send", func() {
+		d.AB.Send(&Frame{Payload: []byte("to-b")})
+		d.BA.Send(&Frame{Payload: []byte("to-a")})
+	})
+	e.Run()
+	if len(cb.frames) != 1 || string(cb.frames[0].Payload) != "to-b" {
+		t.Fatal("AB direction broken")
+	}
+	if len(ca.frames) != 1 || string(ca.frames[0].Payload) != "to-a" {
+		t.Fatal("BA direction broken")
+	}
+}
+
+func TestReceiverFunc(t *testing.T) {
+	called := false
+	ReceiverFunc(func(f *Frame) { called = true }).HandleFrame(&Frame{})
+	if !called {
+		t.Fatal("ReceiverFunc did not dispatch")
+	}
+}

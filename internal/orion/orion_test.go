@@ -1,0 +1,409 @@
+package orion
+
+import (
+	"testing"
+
+	"slingshot/internal/fapi"
+	"slingshot/internal/netmodel"
+	"slingshot/internal/sim"
+	"slingshot/internal/switchsim"
+)
+
+// l2Rig is an L2-side Orion with captured network output.
+type l2Rig struct {
+	e      *sim.Engine
+	o      *Orion
+	frames []*netmodel.Frame
+	toL2   []fapi.Message
+}
+
+func newL2Rig() *l2Rig {
+	r := &l2Rig{e: sim.NewEngine()}
+	r.o = New(r.e, DefaultConfig(10, RoleL2Side))
+	r.o.SendFrame = func(f *netmodel.Frame) { r.frames = append(r.frames, f) }
+	r.o.ToL2 = func(m fapi.Message) { r.toL2 = append(r.toL2, m) }
+	r.o.AddCell(0, 1, 2) // cell 0: primary on server 1, secondary on server 2
+	return r
+}
+
+// fapiFramesTo returns decoded FAPI messages sent to a given Orion server.
+func (r *l2Rig) fapiFramesTo(server uint8) []fapi.Message {
+	var out []fapi.Message
+	for _, f := range r.frames {
+		if f.Type != netmodel.EtherTypeFAPI || f.Dst != netmodel.OrionAddr(server) {
+			continue
+		}
+		m, err := fapi.Decode(f.Payload)
+		if err == nil {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func (r *l2Rig) controlFrames() []*switchsim.Command {
+	var out []*switchsim.Command
+	for _, f := range r.frames {
+		if f.Type != netmodel.EtherTypeControl {
+			continue
+		}
+		c, err := switchsim.DecodeCommand(f.Payload)
+		if err == nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func TestConfigRequestDuplicatedToBothPHYs(t *testing.T) {
+	r := newL2Rig()
+	req := &fapi.ConfigRequest{CellID: 0, NumPRB: 273, Seed: 7}
+	r.e.At(0, "cfg", func() { r.o.FromL2(req) })
+	r.e.Run()
+	for _, server := range []uint8{1, 2} {
+		ms := r.fapiFramesTo(server)
+		if len(ms) != 1 || ms[0].Kind() != fapi.KindConfigRequest {
+			t.Fatalf("server %d got %v", server, ms)
+		}
+	}
+	if r.o.StoredInit(0) == nil || r.o.StoredInit(0).Seed != 7 {
+		t.Fatal("init request not stored")
+	}
+}
+
+func TestRealToActiveNullToStandby(t *testing.T) {
+	r := newL2Rig()
+	ul := &fapi.ULConfig{CellID: 0, Slot: 5, PDUs: []fapi.PDU{{UEID: 1}}}
+	dl := &fapi.DLConfig{CellID: 0, Slot: 5, PDUs: []fapi.PDU{{UEID: 1}}}
+	tx := &fapi.TxData{CellID: 0, Slot: 5, Payloads: []fapi.TBPayload{{UEID: 1, Data: []byte("x")}}}
+	r.e.At(0, "send", func() { r.o.FromL2(ul); r.o.FromL2(dl); r.o.FromL2(tx) })
+	r.e.Run()
+
+	prim := r.fapiFramesTo(1)
+	if len(prim) != 3 {
+		t.Fatalf("primary got %d messages", len(prim))
+	}
+	if prim[0].(*fapi.ULConfig).Null() || prim[1].(*fapi.DLConfig).Null() {
+		t.Fatal("primary got null configs")
+	}
+	sec := r.fapiFramesTo(2)
+	if len(sec) != 2 {
+		t.Fatalf("secondary got %d messages, want 2 nulls", len(sec))
+	}
+	if !sec[0].(*fapi.ULConfig).Null() || !sec[1].(*fapi.DLConfig).Null() {
+		t.Fatal("secondary got real work")
+	}
+	if r.o.Stats.NullsSent != 2 {
+		t.Fatalf("NullsSent = %d", r.o.Stats.NullsSent)
+	}
+}
+
+func TestStandbyResponsesDropped(t *testing.T) {
+	r := newL2Rig()
+	crc := &fapi.CRCIndication{CellID: 0, Slot: 3,
+		Results: []fapi.CRCResult{{UEID: 1, OK: true}}}
+	fromServer := func(server uint8) *netmodel.Frame {
+		return &netmodel.Frame{
+			Src: netmodel.OrionAddr(server), Dst: r.o.Addr,
+			Type: netmodel.EtherTypeFAPI, Payload: fapi.Encode(crc),
+		}
+	}
+	r.e.At(0, "resp", func() {
+		r.o.HandleFrame(fromServer(1)) // active
+		r.o.HandleFrame(fromServer(2)) // standby
+	})
+	r.e.Run()
+	if len(r.toL2) != 1 {
+		t.Fatalf("L2 received %d messages, want 1", len(r.toL2))
+	}
+	if r.o.Stats.RespDropped != 1 {
+		t.Fatalf("RespDropped = %d", r.o.Stats.RespDropped)
+	}
+}
+
+func TestPlannedMigrationSwitchesRoles(t *testing.T) {
+	r := newL2Rig()
+	var boundary uint64
+	r.e.At(10*sim.Millisecond, "migrate", func() { boundary = r.o.Migrate(0) })
+	r.e.Run()
+
+	if got := r.o.ActiveServer(0); got != 2 {
+		t.Fatalf("active = %d after migration", got)
+	}
+	if got := r.o.StandbyServer(0); got != 1 {
+		t.Fatalf("standby = %d", got)
+	}
+	// Boundary must be in the future at the decision time (slot 20).
+	if boundary != 22 {
+		t.Fatalf("boundary slot = %d, want 22", boundary)
+	}
+	cmds := r.controlFrames()
+	if len(cmds) != 1 || cmds[0].Type != switchsim.CmdMigrateOnSlot {
+		t.Fatalf("commands: %+v", cmds)
+	}
+	if cmds[0].RU != 0 || cmds[0].PHY != 2 || cmds[0].AbsSlot != boundary {
+		t.Fatalf("migrate_on_slot: %+v", cmds[0])
+	}
+	if len(r.o.MigrationLog) != 1 || r.o.MigrationLog[0].Failover {
+		t.Fatalf("migration log: %+v", r.o.MigrationLog)
+	}
+}
+
+func TestMigrationSlotRouting(t *testing.T) {
+	r := newL2Rig()
+	r.e.At(10*sim.Millisecond, "migrate", func() { r.o.Migrate(0) }) // boundary slot 22
+	// Requests for slot 21 (pre-boundary) go to old active (server 1);
+	// slot 22+ to new active (server 2).
+	r.e.At(10*sim.Millisecond+sim.Millisecond, "send", func() {
+		r.o.FromL2(&fapi.ULConfig{CellID: 0, Slot: 21, PDUs: []fapi.PDU{{UEID: 1}}})
+		r.o.FromL2(&fapi.ULConfig{CellID: 0, Slot: 22, PDUs: []fapi.PDU{{UEID: 1}}})
+	})
+	r.e.Run()
+	var to1, to2 []uint64
+	for _, m := range r.fapiFramesTo(1) {
+		if ul, ok := m.(*fapi.ULConfig); ok && !ul.Null() {
+			to1 = append(to1, ul.Slot)
+		}
+	}
+	for _, m := range r.fapiFramesTo(2) {
+		if ul, ok := m.(*fapi.ULConfig); ok && !ul.Null() {
+			to2 = append(to2, ul.Slot)
+		}
+	}
+	if len(to1) != 1 || to1[0] != 21 {
+		t.Fatalf("old active got real slots %v, want [21]", to1)
+	}
+	if len(to2) != 1 || to2[0] != 22 {
+		t.Fatalf("new active got real slots %v, want [22]", to2)
+	}
+}
+
+func TestPipelinedResponsesFromOldPHYAccepted(t *testing.T) {
+	r := newL2Rig()
+	r.e.At(10*sim.Millisecond, "migrate", func() { r.o.Migrate(0) }) // boundary 22
+	// Old PHY (server 1) still reports results for slot 21 after the
+	// boundary; they must reach the L2 (Fig 7).
+	crcOld := &fapi.CRCIndication{CellID: 0, Slot: 21, Results: []fapi.CRCResult{{UEID: 1, OK: true}}}
+	crcNew := &fapi.CRCIndication{CellID: 0, Slot: 23, Results: []fapi.CRCResult{{UEID: 1, OK: true}}}
+	r.e.At(12*sim.Millisecond, "resp", func() {
+		r.o.HandleFrame(&netmodel.Frame{Src: netmodel.OrionAddr(1), Dst: r.o.Addr,
+			Type: netmodel.EtherTypeFAPI, Payload: fapi.Encode(crcOld)})
+		r.o.HandleFrame(&netmodel.Frame{Src: netmodel.OrionAddr(2), Dst: r.o.Addr,
+			Type: netmodel.EtherTypeFAPI, Payload: fapi.Encode(crcNew)})
+		// And the old PHY reporting for a post-boundary slot is dropped.
+		r.o.HandleFrame(&netmodel.Frame{Src: netmodel.OrionAddr(1), Dst: r.o.Addr,
+			Type: netmodel.EtherTypeFAPI, Payload: fapi.Encode(crcNew)})
+	})
+	r.e.Run()
+	if len(r.toL2) != 2 {
+		t.Fatalf("L2 received %d messages, want 2", len(r.toL2))
+	}
+	if r.o.Stats.RespDropped != 1 {
+		t.Fatalf("RespDropped = %d", r.o.Stats.RespDropped)
+	}
+}
+
+func TestFailureNotificationTriggersFailover(t *testing.T) {
+	r := newL2Rig()
+	notify := &switchsim.Command{Type: switchsim.CmdFailureNotify, PHY: 1}
+	r.e.At(5*sim.Millisecond, "notify", func() {
+		r.o.HandleFrame(&netmodel.Frame{
+			Src: netmodel.ControllerAddr(), Dst: r.o.Addr,
+			Type: netmodel.EtherTypeControl, Payload: notify.Encode(),
+		})
+	})
+	r.e.Run()
+	if r.o.ActiveServer(0) != 2 {
+		t.Fatalf("active = %d after failover", r.o.ActiveServer(0))
+	}
+	if r.o.Stats.Failovers != 1 || r.o.Stats.NotifyRecv != 1 {
+		t.Fatalf("stats: %+v", r.o.Stats)
+	}
+	cmds := r.controlFrames()
+	if len(cmds) != 1 || cmds[0].PHY != 2 {
+		t.Fatalf("fronthaul migration command: %+v", cmds)
+	}
+	if len(r.o.MigrationLog) != 1 || !r.o.MigrationLog[0].Failover {
+		t.Fatal("failover not logged")
+	}
+}
+
+func TestFailureOfStandbyDoesNotMigrate(t *testing.T) {
+	r := newL2Rig()
+	notify := &switchsim.Command{Type: switchsim.CmdFailureNotify, PHY: 2}
+	r.e.At(5*sim.Millisecond, "notify", func() {
+		r.o.HandleFrame(&netmodel.Frame{
+			Src: netmodel.ControllerAddr(), Dst: r.o.Addr,
+			Type: netmodel.EtherTypeControl, Payload: notify.Encode(),
+		})
+	})
+	r.e.Run()
+	if r.o.ActiveServer(0) != 1 {
+		t.Fatal("standby failure migrated the active PHY")
+	}
+	if r.o.Stats.Migrations != 0 {
+		t.Fatal("unexpected migration")
+	}
+}
+
+func TestReplaceStandby(t *testing.T) {
+	r := newL2Rig()
+	r.e.At(0, "setup", func() {
+		r.o.FromL2(&fapi.ConfigRequest{CellID: 0, Seed: 9})
+		r.o.FromL2(&fapi.StartRequest{CellID: 0})
+	})
+	r.e.At(sim.Millisecond, "replace", func() { r.o.ReplaceStandby(0, 3) })
+	r.e.Run()
+	if r.o.StandbyServer(0) != 3 {
+		t.Fatalf("standby = %d", r.o.StandbyServer(0))
+	}
+	ms := r.fapiFramesTo(3)
+	if len(ms) != 2 || ms[0].Kind() != fapi.KindConfigRequest || ms[1].Kind() != fapi.KindStartRequest {
+		t.Fatalf("spare got %v", ms)
+	}
+}
+
+func TestPHYSideDeliveryAndGapFill(t *testing.T) {
+	e := sim.NewEngine()
+	o := New(e, DefaultConfig(1, RolePHYSide))
+	o.SetL2Server(10)
+	var toPHY []fapi.Message
+	o.ToPHY = func(m fapi.Message) { toPHY = append(toPHY, m) }
+
+	send := func(slot uint64) {
+		ul := &fapi.ULConfig{CellID: 0, Slot: slot, PDUs: []fapi.PDU{{UEID: 1}}}
+		o.HandleFrame(&netmodel.Frame{Src: netmodel.OrionAddr(10), Dst: o.Addr,
+			Type: netmodel.EtherTypeFAPI, Payload: fapi.Encode(ul)})
+	}
+	e.At(0, "s1", func() { send(1) })
+	// Slot 2's message is "lost"; slot 3 arrives and must trigger a null
+	// injection for slot 2.
+	e.At(sim.Millisecond, "s3", func() { send(3) })
+	e.Run()
+
+	if len(toPHY) != 3 {
+		t.Fatalf("PHY received %d messages, want 3 (1, null-2, 3)", len(toPHY))
+	}
+	if toPHY[1].AbsSlot() != 2 || !toPHY[1].(*fapi.ULConfig).Null() {
+		t.Fatalf("gap fill wrong: %+v", toPHY[1])
+	}
+	if o.Stats.GapFilled != 1 {
+		t.Fatalf("GapFilled = %d", o.Stats.GapFilled)
+	}
+}
+
+func TestPHYSideForwardsResponsesToL2Server(t *testing.T) {
+	e := sim.NewEngine()
+	o := New(e, DefaultConfig(1, RolePHYSide))
+	o.SetL2Server(10)
+	var frames []*netmodel.Frame
+	o.SendFrame = func(f *netmodel.Frame) { frames = append(frames, f) }
+	e.At(0, "resp", func() {
+		o.FromPHY(&fapi.SlotIndication{CellID: 0, Slot: 4})
+	})
+	e.Run()
+	if len(frames) != 1 || frames[0].Dst != netmodel.OrionAddr(10) {
+		t.Fatalf("frames: %+v", frames)
+	}
+}
+
+func TestProcessingQueueBuildsUp(t *testing.T) {
+	e := sim.NewEngine()
+	o := New(e, DefaultConfig(1, RolePHYSide))
+	var deliveredAt []sim.Time
+	o.ToPHY = func(m fapi.Message) { deliveredAt = append(deliveredAt, e.Now()) }
+	ul := &fapi.ULConfig{CellID: 0, Slot: 1, PDUs: []fapi.PDU{{UEID: 1}}}
+	wire := fapi.Encode(ul)
+	e.At(0, "burst", func() {
+		for i := 0; i < 5; i++ {
+			o.HandleFrame(&netmodel.Frame{Src: netmodel.OrionAddr(10), Dst: o.Addr,
+				Type: netmodel.EtherTypeFAPI, Payload: wire})
+		}
+	})
+	e.Run()
+	if len(deliveredAt) != 5 {
+		t.Fatalf("delivered %d", len(deliveredAt))
+	}
+	for i := 1; i < 5; i++ {
+		if deliveredAt[i] <= deliveredAt[i-1] {
+			t.Fatal("queueing did not serialize deliveries")
+		}
+	}
+	// Last delivery ~5 * BaseProc after the burst.
+	if deliveredAt[4] < 5*o.Cfg.BaseProc {
+		t.Fatalf("no queueing delay: last at %v", deliveredAt[4])
+	}
+}
+
+func TestUnknownCellIgnored(t *testing.T) {
+	r := newL2Rig()
+	r.e.At(0, "send", func() {
+		r.o.FromL2(&fapi.ULConfig{CellID: 99, Slot: 1})
+	})
+	r.e.Run()
+	if len(r.frames) != 0 {
+		t.Fatal("message for unknown cell forwarded")
+	}
+	if r.o.Migrate(99) != 0 {
+		t.Fatal("Migrate of unknown cell returned a boundary")
+	}
+}
+
+func TestCellsList(t *testing.T) {
+	r := newL2Rig()
+	if got := r.o.Cells(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Cells = %v", got)
+	}
+}
+
+func TestMigrationRefusedToFailedStandby(t *testing.T) {
+	r := newL2Rig()
+	// The active PHY (server 1) fails; failover moves the cell to 2.
+	notify := &switchsim.Command{Type: switchsim.CmdFailureNotify, PHY: 1}
+	r.e.At(5*sim.Millisecond, "notify", func() {
+		r.o.HandleFrame(&netmodel.Frame{
+			Src: netmodel.ControllerAddr(), Dst: r.o.Addr,
+			Type: netmodel.EtherTypeControl, Payload: notify.Encode(),
+		})
+	})
+	r.e.Run()
+	if r.o.ActiveServer(0) != 2 {
+		t.Fatal("failover did not happen")
+	}
+	// Migrating back would target the dead server 1: refused.
+	if got := r.o.Migrate(0); got != 0 {
+		t.Fatalf("Migrate to dead standby returned boundary %d", got)
+	}
+	if r.o.ActiveServer(0) != 2 {
+		t.Fatal("refused migration still flipped roles")
+	}
+	// After provisioning a spare, migration works again.
+	r.o.FromL2(&fapi.ConfigRequest{CellID: 0, Seed: 9})
+	r.e.Run()
+	r.o.ReplaceStandby(0, 3)
+	if got := r.o.Migrate(0); got == 0 {
+		t.Fatal("migration refused despite fresh standby")
+	}
+	if r.o.ActiveServer(0) != 3 {
+		t.Fatalf("active = %d after migrating to spare", r.o.ActiveServer(0))
+	}
+}
+
+func TestDuplicateToStandbyAblation(t *testing.T) {
+	r := newL2Rig()
+	r.o.Cfg.DuplicateToStandby = true
+	ul := &fapi.ULConfig{CellID: 0, Slot: 5, PDUs: []fapi.PDU{{UEID: 1}}}
+	tx := &fapi.TxData{CellID: 0, Slot: 5, Payloads: []fapi.TBPayload{{UEID: 1, Data: []byte("x")}}}
+	r.e.At(0, "send", func() { r.o.FromL2(ul); r.o.FromL2(tx) })
+	r.e.Run()
+	sec := r.fapiFramesTo(2)
+	if len(sec) != 2 {
+		t.Fatalf("standby got %d messages, want duplicated UL+TxData", len(sec))
+	}
+	if got := sec[0].(*fapi.ULConfig); got.Null() {
+		t.Fatal("standby got a null instead of duplicated work")
+	}
+	if r.o.Stats.NullsSent != 0 {
+		t.Fatal("nulls sent in duplicate mode")
+	}
+}

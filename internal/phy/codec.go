@@ -1,0 +1,200 @@
+package phy
+
+import (
+	"slingshot/internal/dsp"
+	"slingshot/internal/fec"
+	"slingshot/internal/sim"
+)
+
+// Codec is the sampled-fidelity transport-block codec shared by the PHY
+// and the UE model. Per transport block it runs one real code block
+// through the full physical chain — CRC-16 attach, IRA/LDPC encoding,
+// scrambling, QAM modulation, pilots — and derives the block's decode
+// outcome from real LLR arithmetic. The remainder of the transport block
+// rides as sidecar bytes (see DESIGN.md §1): decode success of the sampled
+// block gates delivery of the whole TB.
+type Codec struct {
+	Code     *fec.Code
+	Mantissa int
+	Seed     uint64
+	// PilotLen is the number of pilot symbols prepended per block.
+	PilotLen int
+}
+
+// Default code dimensions: K info bits per sampled block, rate 1/2.
+const (
+	DefaultCodeK   = 256
+	DefaultCodeN   = 512
+	DefaultPilots  = 32
+	DefaultFECIter = 8
+)
+
+// NewCodec builds a codec for a cell.
+func NewCodec(k, n, mantissa int, seed uint64) *Codec {
+	if k == 0 {
+		k = DefaultCodeK
+	}
+	if n == 0 {
+		n = DefaultCodeN
+	}
+	if mantissa == 0 {
+		mantissa = 9
+	}
+	return &Codec{
+		Code:     fec.Get(k, n, seed),
+		Mantissa: mantissa,
+		Seed:     seed,
+		PilotLen: DefaultPilots,
+	}
+}
+
+// blockBits deterministically derives the sampled block's K info bits from
+// the transport block: the leading payload bytes plus a CRC-16, padded to
+// K bits. Retransmissions of the same TB therefore produce the same coded
+// bits, which is what makes chase combining real.
+func (c *Codec) blockBits(tb []byte) []byte {
+	k := c.Code.K
+	nBytes := k/8 - 2 // leave room for CRC16
+	if nBytes < 1 {
+		nBytes = 1
+	}
+	sample := make([]byte, nBytes)
+	copy(sample, tb)
+	framed := fec.AppendCRC16(sample)
+	bits := make([]byte, k)
+	for i := 0; i < len(framed)*8 && i < k; i++ {
+		bits[i] = framed[i/8] >> (7 - i%8) & 1
+	}
+	return bits
+}
+
+// scrambleMask derives the cell/slot/UE-specific scrambling bits. Both
+// ends derive the same mask; a receiver descrambling with the wrong
+// parameters (or garbage IQ) sees random LLR signs and fails CRC.
+func (c *Codec) scrambleMask(slot uint64, ue uint16) *sim.RNG {
+	return sim.NewRNG(c.Seed ^ slot*0x9E3779B97F4A7C15 ^ uint64(ue)<<17 | 1)
+}
+
+// pilotSeed mixes the cell seed with slot and UE for the pilot sequence.
+func (c *Codec) pilotSeed(slot uint64, ue uint16) uint64 {
+	return c.Seed ^ slot*0xBF58476D1CE4E5B9 ^ uint64(ue)<<29
+}
+
+// padBitsForMod pads coded bits to a multiple of the modulation order.
+func padBitsForMod(bits []byte, m dsp.Modulation) []byte {
+	bps := m.BitsPerSymbol()
+	if rem := len(bits) % bps; rem != 0 {
+		bits = append(bits, make([]byte, bps-rem)...)
+	}
+	return bits
+}
+
+// EncodeBlock produces the transmitted symbols for a transport block:
+// PilotLen pilot symbols followed by the scrambled, modulated code block.
+func (c *Codec) EncodeBlock(tb []byte, slot uint64, ue uint16, m dsp.Modulation) []complex128 {
+	info := c.blockBits(tb)
+	coded := c.Code.Encode(info)
+	mask := c.scrambleMask(slot, ue)
+	for i := range coded {
+		coded[i] ^= byte(mask.Uint64() & 1)
+	}
+	coded = padBitsForMod(coded, m)
+	data := dsp.Modulate(coded, m)
+	pilots := dsp.Pilots(c.PilotLen, c.pilotSeed(slot, ue))
+	out := make([]complex128, 0, len(pilots)+len(data))
+	out = append(out, pilots...)
+	return append(out, data...)
+}
+
+// SymbolsPerBlock returns the symbol count EncodeBlock emits for m.
+func (c *Codec) SymbolsPerBlock(m dsp.Modulation) int {
+	bps := m.BitsPerSymbol()
+	coded := (c.Code.N + bps - 1) / bps
+	return c.PilotLen + coded
+}
+
+// DecodeOutcome is the result of DecodeBlock.
+type DecodeOutcome struct {
+	OK        bool
+	SNRdB     float64 // post-equalization estimate from pilots
+	TxCount   int     // HARQ transmissions combined
+	WorkUnits int     // decoder edge-iterations spent (CPU model input)
+}
+
+// HARQCombiner abstracts the soft-buffer pool so the UE (downlink) and the
+// PHY (uplink) share the decode path. A nil combiner decodes standalone.
+type HARQCombiner interface {
+	Combine(ue uint16, proc uint8, llr []float64, newData bool) []float64
+	Ack(ue uint16, proc uint8)
+	TxCount(ue uint16, proc uint8) int
+}
+
+// DecodeBlock runs the receive chain on received symbols: channel
+// estimation from pilots, equalization, soft demodulation, descrambling,
+// HARQ combining, FEC decoding (iters iterations), CRC check.
+func (c *Codec) DecodeBlock(rx []complex128, slot uint64, ue uint16, m dsp.Modulation,
+	pool HARQCombiner, proc uint8, newData bool, iters int) DecodeOutcome {
+
+	out := DecodeOutcome{TxCount: 1}
+	if len(rx) < c.PilotLen+1 {
+		return out
+	}
+	txPilots := dsp.Pilots(c.PilotLen, c.pilotSeed(slot, ue))
+	h, noiseVar := dsp.EstimateChannel(rx[:c.PilotLen], txPilots)
+	out.SNRdB = dsp.SNRFromNoiseVar(noiseVar)
+
+	data := append([]complex128(nil), rx[c.PilotLen:]...)
+	dsp.Equalize(data, h)
+	llr := dsp.Demodulate(data, m, noiseVar)
+	if len(llr) < c.Code.N {
+		return out
+	}
+	llr = llr[:c.Code.N]
+	mask := c.scrambleMask(slot, ue)
+	for i := range llr {
+		if mask.Uint64()&1 == 1 {
+			llr[i] = -llr[i]
+		}
+	}
+	if pool != nil {
+		llr = c.cloneIfNeeded(pool.Combine(ue, proc, llr, newData))
+		out.TxCount = pool.TxCount(ue, proc)
+	}
+	res := c.Code.Decode(llr, iters)
+	out.WorkUnits = c.Code.Edges() * res.Iterations
+	if !res.OK {
+		return out
+	}
+	// Verify the sampled block's CRC-16 — parity convergence alone can be
+	// a wrong codeword.
+	k := c.Code.K
+	nBytes := k / 8
+	buf := make([]byte, nBytes)
+	for i := 0; i < k; i++ {
+		buf[i/8] |= res.Info[i] << (7 - i%8)
+	}
+	_, ok := fec.CheckCRC16(buf[:k/8])
+	out.OK = ok
+	if ok && pool != nil {
+		pool.Ack(ue, proc)
+	}
+	return out
+}
+
+// cloneIfNeeded copies combined LLRs so the decoder cannot alias the HARQ
+// buffer (min-sum reads llr repeatedly but never writes; the copy guards
+// against future decoder changes at negligible cost).
+func (c *Codec) cloneIfNeeded(llr []float64) []float64 {
+	out := make([]float64, len(llr))
+	copy(out, llr)
+	return out
+}
+
+// PadSymbols pads symbols with zeros to a multiple of 12 so they BFP-pack
+// cleanly.
+func PadSymbols(iq []complex128) []complex128 {
+	if rem := len(iq) % 12; rem != 0 {
+		iq = append(iq, make([]complex128, 12-rem)...)
+	}
+	return iq
+}

@@ -1,0 +1,40 @@
+package phy
+
+import (
+	"testing"
+
+	"slingshot/internal/dsp"
+	"slingshot/internal/fapi"
+	"slingshot/internal/sim"
+)
+
+func TestMIMOUntrainedBlocksHighMCS(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.MIMORetrainSlots = 512
+	cfg.MIMOUntrainedCapDB = 6
+	h := &harness{e: sim.NewEngine()}
+	h.phy = New(h.e, cfg, sim.NewRNG(1))
+	h.phy.SendFAPI = func(m fapi.Message) { h.fapiOut = append(h.fapiOut, m) }
+	h.configureAndStart(0)
+	h.feedNullConfigs(0, 12)
+	codec := NewCodec(0, 0, 9, 99)
+	tb := []byte("payload")
+	pdu := fapi.PDU{
+		UEID: 7, HARQID: 1, NewData: true,
+		Alloc:   dsp.Allocation{UEID: 7, StartPRB: 0, NumPRB: 10, Mod: dsp.QAM64},
+		TBBytes: uint32(len(tb)),
+	}
+	h.e.At(SlotStart(3)+100*sim.Microsecond, "ulcfg", func() {
+		h.phy.HandleFAPI(&fapi.ULConfig{CellID: 0, Slot: 4, PDUs: []fapi.PDU{pdu}})
+	})
+	h.e.At(SlotStart(4)+200*sim.Microsecond, "ulpkt", func() {
+		sendULPacket(t, h, codec, 0, 7, 4, tb, dsp.QAM64, 30)
+	})
+	h.e.RunUntil(12 * TTI)
+	if h.phy.Stats.DecodeOK != 0 {
+		t.Fatalf("untrained MIMO decoded 64QAM: ok=%d fail=%d", h.phy.Stats.DecodeOK, h.phy.Stats.DecodeFail)
+	}
+	if h.phy.Stats.DecodeFail != 1 {
+		t.Fatalf("fail=%d", h.phy.Stats.DecodeFail)
+	}
+}

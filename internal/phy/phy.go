@@ -1,0 +1,663 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"slingshot/internal/fapi"
+	"slingshot/internal/fronthaul"
+	"slingshot/internal/harq"
+	"slingshot/internal/netmodel"
+	"slingshot/internal/sim"
+)
+
+// Config parameterizes a PHY process.
+type Config struct {
+	// ID is the logical PHY id assigned by the operator (switch directory
+	// key, §5.1).
+	ID uint8
+	// FECIters is the decoder iteration budget used when a cell's
+	// CONFIG.request does not override it. The live-upgrade experiment
+	// deploys a secondary with a larger budget.
+	FECIters int
+	// CodeK/CodeN are the sampled code block dimensions.
+	CodeK, CodeN int
+	// PipelineSlots is the slot-processing pipeline depth (Fig 7); uplink
+	// results for slot N are delivered at the end of slot N+PipelineSlots-1.
+	PipelineSlots int
+	// MissedConfigLimit is how many consecutive slots without any UL/DL
+	// CONFIG request the PHY tolerates before crashing (FlexRAN crashes
+	// when FAPI requests stop; §6.2).
+	MissedConfigLimit int
+	// HeartbeatOffset is when within a slot the DL C-plane packet leaves.
+	HeartbeatOffset sim.Time
+	// HeartbeatJitter is the max extra scheduling jitter on transmissions.
+	HeartbeatJitter sim.Time
+	// UPlaneOffset is when within a slot DL U-plane packets leave.
+	UPlaneOffset sim.Time
+	// MIMORetrainSlots, when non-zero, models a massive-MIMO PHY's
+	// inter-slot uplink equalization state (§10 of the paper): the
+	// combining matrices improve with every uplink reception and are
+	// discarded on migration. Until a UE has been received this many
+	// times, residual equalization error caps its effective SINR.
+	MIMORetrainSlots int
+	// MIMOUntrainedCapDB is the effective SINR cap of a completely
+	// untrained equalizer.
+	MIMOUntrainedCapDB float64
+	// MidSlotOffset is when the second per-slot control packet (the
+	// UL C-plane / sync packet) leaves. Real PHYs emit several downlink
+	// packets per slot; the paper measures a 393 µs max gap between them
+	// (§8.6), which is what keeps the 450 µs detector timeout safe even
+	// on idle slots.
+	MidSlotOffset sim.Time
+}
+
+// DefaultConfig returns the standard PHY configuration.
+func DefaultConfig(id uint8) Config {
+	return Config{
+		ID:                id,
+		FECIters:          DefaultFECIter,
+		CodeK:             DefaultCodeK,
+		CodeN:             DefaultCodeN,
+		PipelineSlots:     3,
+		MissedConfigLimit: 6,
+		HeartbeatOffset:   30 * sim.Microsecond,
+		HeartbeatJitter:   60 * sim.Microsecond,
+		UPlaneOffset:      120 * sim.Microsecond,
+		MidSlotOffset:     260 * sim.Microsecond,
+	}
+}
+
+// Stats counts PHY work for the overhead experiments (§8.5).
+type Stats struct {
+	SlotsProcessed uint64
+	NullSlots      uint64 // slots whose configs carried no UE work
+	WorkUnits      uint64 // decoder edge-iterations (CPU model input)
+	EncodedTBs     uint64
+	DecodeOK       uint64
+	DecodeFail     uint64
+	HeartbeatsSent uint64
+	MissedConfigs  uint64
+	FronthaulRx    uint64
+	FronthaulTx    uint64
+}
+
+// PHY is one PHY process (the paper's FlexRAN instance). It serves one or
+// more cells (RUs), speaks FAPI towards its PHY-side Orion over SHM, and
+// exchanges fronthaul packets with the switch.
+type PHY struct {
+	Cfg    Config
+	Engine *sim.Engine
+	Addr   netmodel.Addr
+
+	// SendFAPI delivers FAPI messages to the PHY-side Orion (SHM path).
+	SendFAPI func(fapi.Message)
+	// SendFronthaul transmits a frame towards the switch.
+	SendFronthaul func(*netmodel.Frame)
+	// OnCrash, if set, observes the crash reason.
+	OnCrash func(reason string)
+
+	Stats Stats
+
+	rng       *sim.RNG
+	cells     map[uint16]*cell
+	crashed   bool
+	stopClock func()
+}
+
+type ulResult struct {
+	crc     fapi.CRCResult
+	payload []byte
+}
+
+type cell struct {
+	id      uint16
+	cfg     fapi.ConfigRequest
+	started bool
+	codec   *Codec
+	iters   int
+	pool    *harq.Pool
+	snr     map[uint16]*harq.SNRFilter
+	seq     uint8
+
+	// mimoTrain counts uplink receptions per UE since (re)start — the
+	// massive-MIMO equalizer's training state (soft, discarded on
+	// migration).
+	mimoTrain map[uint16]int
+
+	ulConfigs map[uint64]*fapi.ULConfig
+	dlConfigs map[uint64]*fapi.DLConfig
+	txData    map[uint64]*fapi.TxData
+	// ulResults accumulates decode outcomes per slot until the pipeline
+	// drains them to the L2.
+	ulResults map[uint64][]ulResult
+	// ulSeen marks (slot,ue) receptions so missing fronthaul packets
+	// become DTX (CRC fail) at pipeline completion.
+	ulSeen map[uint64]map[uint16]bool
+	// grantQueue holds UL grant sections awaiting announcement in the
+	// next DL C-plane packet (the PDCCH path to the UE).
+	grantQueue []fronthaul.Section
+
+	missedConfigs int
+}
+
+// New creates a PHY process.
+func New(e *sim.Engine, cfg Config, rng *sim.RNG) *PHY {
+	if cfg.PipelineSlots < 1 {
+		cfg.PipelineSlots = 3
+	}
+	if cfg.MissedConfigLimit < 1 {
+		cfg.MissedConfigLimit = 6
+	}
+	if cfg.FECIters < 1 {
+		cfg.FECIters = DefaultFECIter
+	}
+	return &PHY{
+		Cfg:    cfg,
+		Engine: e,
+		Addr:   netmodel.PHYAddr(cfg.ID),
+		rng:    rng,
+		cells:  make(map[uint16]*cell),
+	}
+}
+
+// Start begins the PHY's slot clock at the next slot boundary.
+func (p *PHY) Start() {
+	if p.stopClock != nil {
+		return
+	}
+	now := p.Engine.Now()
+	next := (now + TTI - 1) / TTI * TTI
+	p.stopClock = p.Engine.Every(next-now, TTI, "phy.slot", p.onSlot)
+}
+
+// Crashed reports whether the PHY has crashed or been killed.
+func (p *PHY) Crashed() bool { return p.crashed }
+
+// Kill terminates the PHY immediately (the experiments' SIGKILL).
+func (p *PHY) Kill() { p.crash("SIGKILL") }
+
+func (p *PHY) crash(reason string) {
+	if p.crashed {
+		return
+	}
+	p.crashed = true
+	if p.stopClock != nil {
+		p.stopClock()
+		p.stopClock = nil
+	}
+	if p.OnCrash != nil {
+		p.OnCrash(reason)
+	}
+}
+
+// HandleFAPI processes a FAPI message from the PHY-side Orion.
+func (p *PHY) HandleFAPI(m fapi.Message) {
+	if p.crashed {
+		return
+	}
+	switch msg := m.(type) {
+	case *fapi.ConfigRequest:
+		p.configure(msg)
+	case *fapi.StartRequest:
+		if c := p.cells[msg.CellID]; c != nil {
+			c.started = true
+		}
+	case *fapi.StopRequest:
+		if c := p.cells[msg.CellID]; c != nil {
+			c.started = false
+		}
+	case *fapi.ULConfig:
+		p.acceptUL(msg)
+	case *fapi.DLConfig:
+		p.acceptDL(msg)
+	case *fapi.TxData:
+		if c := p.cells[msg.CellID]; c != nil {
+			c.txData[msg.Slot] = msg
+		}
+	}
+}
+
+func (p *PHY) configure(req *fapi.ConfigRequest) {
+	iters := int(req.FECIters)
+	if iters == 0 {
+		iters = p.Cfg.FECIters
+	}
+	c := &cell{
+		id:        req.CellID,
+		cfg:       *req,
+		codec:     NewCodec(p.Cfg.CodeK, p.Cfg.CodeN, int(req.MantissaBits), req.Seed),
+		iters:     iters,
+		pool:      harq.NewPool(),
+		snr:       make(map[uint16]*harq.SNRFilter),
+		mimoTrain: make(map[uint16]int),
+		ulConfigs: make(map[uint64]*fapi.ULConfig),
+		dlConfigs: make(map[uint64]*fapi.DLConfig),
+		txData:    make(map[uint64]*fapi.TxData),
+		ulResults: make(map[uint64][]ulResult),
+		ulSeen:    make(map[uint64]map[uint16]bool),
+	}
+	p.cells[req.CellID] = c
+	p.fapiOut(&fapi.ConfigResponse{CellID: req.CellID, OK: true})
+}
+
+func (p *PHY) acceptUL(msg *fapi.ULConfig) {
+	c := p.cells[msg.CellID]
+	if c == nil {
+		return
+	}
+	c.ulConfigs[msg.Slot] = msg
+	// Queue grant announcements for the UEs (PDCCH equivalent) so the
+	// next DL C-plane packet carries them over the air.
+	for _, pdu := range msg.PDUs {
+		c.grantQueue = append(c.grantQueue, fronthaul.Section{
+			UEID:      pdu.UEID,
+			Dir:       fronthaul.Uplink,
+			StartPRB:  uint16(pdu.Alloc.StartPRB),
+			NumPRB:    uint16(pdu.Alloc.NumPRB),
+			ModBits:   uint8(pdu.Alloc.Mod),
+			HARQID:    pdu.HARQID,
+			Rv:        pdu.Rv,
+			NewData:   pdu.NewData,
+			TBBytes:   pdu.TBBytes,
+			GrantSlot: msg.Slot,
+		})
+	}
+}
+
+func (p *PHY) acceptDL(msg *fapi.DLConfig) {
+	if c := p.cells[msg.CellID]; c != nil {
+		c.dlConfigs[msg.Slot] = msg
+	}
+}
+
+func (p *PHY) fapiOut(m fapi.Message) {
+	if p.SendFAPI != nil {
+		p.SendFAPI(m)
+	}
+}
+
+// onSlot runs once per TTI.
+func (p *PHY) onSlot() {
+	if p.crashed {
+		return
+	}
+	slot := SlotAt(p.Engine.Now())
+	for _, c := range p.cells {
+		if !c.started {
+			continue
+		}
+		p.processSlot(c, slot)
+	}
+}
+
+func (p *PHY) processSlot(c *cell, slot uint64) {
+	p.Stats.SlotsProcessed++
+	p.fapiOut(&fapi.SlotIndication{CellID: c.id, Slot: slot})
+
+	ul := c.ulConfigs[slot]
+	dl := c.dlConfigs[slot]
+	if ul == nil && dl == nil {
+		c.missedConfigs++
+		p.Stats.MissedConfigs++
+		if c.missedConfigs >= p.Cfg.MissedConfigLimit {
+			p.fapiOut(&fapi.ErrorIndication{CellID: c.id, Slot: slot, Code: fapi.ErrCodeMissingConfig})
+			p.crash(fmt.Sprintf("no FAPI configs for %d consecutive slots (cell %d)", c.missedConfigs, c.id))
+			return
+		}
+	} else {
+		c.missedConfigs = 0
+		if (ul == nil || ul.Null()) && (dl == nil || dl.Null()) {
+			p.Stats.NullSlots++
+		}
+	}
+
+	// Downlink C-plane heartbeat: every slot, carrying any pending UL
+	// grant sections plus this slot's DL data sections.
+	sections := c.grantQueue
+	c.grantQueue = nil
+	if dl != nil {
+		for _, pdu := range dl.PDUs {
+			sections = append(sections, fronthaul.Section{
+				UEID:      pdu.UEID,
+				Dir:       fronthaul.Downlink,
+				StartPRB:  uint16(pdu.Alloc.StartPRB),
+				NumPRB:    uint16(pdu.Alloc.NumPRB),
+				ModBits:   uint8(pdu.Alloc.Mod),
+				HARQID:    pdu.HARQID,
+				Rv:        pdu.Rv,
+				NewData:   pdu.NewData,
+				TBBytes:   pdu.TBBytes,
+				GrantSlot: slot,
+			})
+		}
+	}
+	p.sendHeartbeat(c, slot, sections)
+
+	// Downlink data (U-plane) for DL/S slots with scheduled PDUs.
+	if dl != nil && !dl.Null() {
+		p.transmitDL(c, slot, dl)
+	}
+
+	// Uplink: schedule the pipeline drain that reports results (including
+	// DTX for grants whose fronthaul never arrived) to the L2.
+	if ul != nil && !ul.Null() {
+		drainAt := SlotStart(slot+uint64(p.Cfg.PipelineSlots)-1) + 450*sim.Microsecond
+		cid := c.id
+		p.Engine.At(drainAt, "phy.ul-drain", func() { p.drainUL(cid, slot) })
+	}
+
+	// GC stale per-slot state.
+	if slot > 20 {
+		old := slot - 20
+		delete(c.ulConfigs, old)
+		delete(c.dlConfigs, old)
+		delete(c.txData, old)
+		delete(c.ulResults, old)
+		delete(c.ulSeen, old)
+	}
+}
+
+// sendHeartbeat emits the slot's DL C-plane packet. Healthy PHYs emit this
+// every slot — it is the natural heartbeat the in-switch failure detector
+// monitors (§5.2.1).
+func (p *PHY) sendHeartbeat(c *cell, slot uint64, sections []fronthaul.Section) {
+	pkt := fronthaul.NewControl(c.id, c.seq, fronthaul.Downlink,
+		fronthaul.SlotFromCounter(slot), uint8(len(sections)))
+	c.seq++
+	pkt.Payload = fronthaul.EncodeSections(sections)
+	delay := p.Cfg.HeartbeatOffset + sim.Time(p.rng.Float64()*float64(p.Cfg.HeartbeatJitter))
+	p.sendFronthaulAt(delay, pkt, c, 0)
+	p.Stats.HeartbeatsSent++
+
+	// Second per-slot control packet (UL C-plane / sync). Keeps the max
+	// downlink inter-packet gap near the 393 µs the paper measures, well
+	// under the in-switch detector's 450 µs timeout even on idle slots.
+	if p.Cfg.MidSlotOffset > 0 {
+		mid := fronthaul.NewControl(c.id, c.seq, fronthaul.Downlink,
+			fronthaul.SlotFromCounter(slot), 0)
+		mid.Payload = fronthaul.EncodeSections(nil)
+		c.seq++
+		midDelay := p.Cfg.MidSlotOffset + sim.Time(p.rng.Float64()*float64(p.Cfg.HeartbeatJitter))
+		p.sendFronthaulAt(midDelay, mid, c, 0)
+		p.Stats.HeartbeatsSent++
+	}
+}
+
+func (p *PHY) sendFronthaulAt(delay sim.Time, pkt *fronthaul.Packet, c *cell, virtual int) {
+	frame := &netmodel.Frame{
+		Src:     p.Addr,
+		Dst:     netmodel.RUAddr(c.id),
+		Type:    netmodel.EtherTypeECPRI,
+		Payload: pkt.Serialize(),
+		Virtual: virtual,
+	}
+	p.Engine.After(delay, "phy.fh-tx", func() {
+		if p.crashed {
+			return
+		}
+		if p.SendFronthaul != nil {
+			p.SendFronthaul(frame)
+			p.Stats.FronthaulTx++
+		}
+	})
+}
+
+// transmitDL encodes each DL PDU's sampled block and ships U-plane packets
+// to the RU.
+func (p *PHY) transmitDL(c *cell, slot uint64, dl *fapi.DLConfig) {
+	tx := c.txData[slot]
+	// Payloads key on (UE, HARQ process): one slot can carry both a
+	// retransmission and new data for the same UE.
+	payloads := map[uint32][]byte{}
+	if tx != nil {
+		for _, pl := range tx.Payloads {
+			payloads[uint32(pl.UEID)<<8|uint32(pl.HARQID)] = pl.Data
+		}
+	}
+	for _, pdu := range dl.PDUs {
+		tb := payloads[uint32(pdu.UEID)<<8|uint32(pdu.HARQID)]
+		iq := c.codec.EncodeBlock(tb, slot, pdu.UEID, pdu.Alloc.Mod)
+		iq = PadSymbols(iq)
+		pkt, err := fronthaul.NewDownlinkIQ(c.id, c.seq, fronthaul.SlotFromCounter(slot),
+			uint16(pdu.Alloc.StartPRB), uint16(pdu.Alloc.NumPRB), iq, c.codec.Mantissa)
+		if err != nil {
+			continue
+		}
+		c.seq++
+		pkt.Section = pdu.UEID
+		pkt.Aux = tb
+		// Virtual size: the full allocation's compressed IQ.
+		virtual := pdu.Alloc.REs() / 12 * fronthaul.BFPBlockBytes(c.codec.Mantissa)
+		jitter := sim.Time(p.rng.Float64() * float64(p.Cfg.HeartbeatJitter))
+		p.sendFronthaulAt(p.Cfg.UPlaneOffset+jitter, pkt, c, virtual)
+		p.Stats.EncodedTBs++
+		p.Stats.WorkUnits += uint64(c.codec.Code.Edges()) // encode cost ~ one pass
+	}
+}
+
+// HandleFrame implements netmodel.Receiver for fronthaul traffic from the
+// switch (uplink U-plane packets from the RU).
+func (p *PHY) HandleFrame(f *netmodel.Frame) {
+	if p.crashed || f.Type != netmodel.EtherTypeECPRI {
+		return
+	}
+	pkt, err := fronthaul.Decode(f.Payload)
+	if err != nil {
+		return
+	}
+	p.Stats.FronthaulRx++
+	c := p.cells[pkt.EAxC]
+	if c == nil || !c.started {
+		return
+	}
+	if pkt.Dir != fronthaul.Uplink {
+		return
+	}
+	if pkt.Type == fronthaul.MsgRTControl {
+		// UL C-plane from the RU: carries the slot's UCI (PUCCH) reports.
+		if len(pkt.Aux) > 0 {
+			if reports, err := fapi.DecodeUCIList(pkt.Aux); err == nil && len(reports) > 0 {
+				p.fapiOut(&fapi.UCIIndication{
+					CellID: c.id, Slot: SlotAt(p.Engine.Now()), Reports: reports,
+				})
+			}
+		}
+		return
+	}
+	if pkt.Type != fronthaul.MsgIQData {
+		return
+	}
+	p.receiveUL(c, pkt)
+}
+
+// receiveUL runs the uplink chain on one UE's sampled block.
+func (p *PHY) receiveUL(c *cell, pkt *fronthaul.Packet) {
+	// Identify the slot by matching against a pending UL config. The
+	// wrapped SlotID is resolved against outstanding grants.
+	slot, ulCfg := c.matchULSlot(pkt.Slot)
+	if ulCfg == nil {
+		return
+	}
+	ue := pkt.Section
+	var pdu *fapi.PDU
+	for i := range ulCfg.PDUs {
+		if ulCfg.PDUs[i].UEID == ue {
+			pdu = &ulCfg.PDUs[i]
+			break
+		}
+	}
+	if pdu == nil {
+		return
+	}
+	if c.ulSeen[slot] == nil {
+		c.ulSeen[slot] = make(map[uint16]bool)
+	}
+	if c.ulSeen[slot][ue] {
+		return // duplicate
+	}
+	c.ulSeen[slot][ue] = true
+
+	iq, err := pkt.IQ()
+	var outcome DecodeOutcome
+	if err == nil {
+		p.applyMIMOError(c, ue, iq)
+		outcome = c.codec.DecodeBlock(iq, slot, ue, pdu.Alloc.Mod,
+			c.pool, pdu.HARQID, pdu.NewData, c.iters)
+	}
+	p.Stats.WorkUnits += uint64(outcome.WorkUnits)
+
+	filter := c.snr[ue]
+	if filter == nil {
+		filter = &harq.SNRFilter{}
+		c.snr[ue] = filter
+	}
+	avg := filter.Observe(outcome.SNRdB)
+
+	res := ulResult{
+		crc: fapi.CRCResult{UEID: ue, HARQID: pdu.HARQID, OK: outcome.OK, SNRdB: float32(avg)},
+	}
+	if outcome.OK {
+		p.Stats.DecodeOK++
+		res.payload = append([]byte(nil), pkt.Aux...)
+	} else {
+		p.Stats.DecodeFail++
+	}
+	c.ulResults[slot] = append(c.ulResults[slot], res)
+}
+
+// matchULSlot resolves a wrapped SlotID against pending UL configs.
+func (c *cell) matchULSlot(sid fronthaul.SlotID) (uint64, *fapi.ULConfig) {
+	idx := sid.Index()
+	for slot, cfg := range c.ulConfigs {
+		if slot%fronthaul.SlotWrap == idx {
+			return slot, cfg
+		}
+	}
+	return 0, nil
+}
+
+// drainUL completes the slot's uplink pipeline: emits RX_DATA for decoded
+// TBs and a CRC.indication covering every granted UE (DTX = CRC fail).
+func (p *PHY) drainUL(cellID uint16, slot uint64) {
+	if p.crashed {
+		return
+	}
+	c := p.cells[cellID]
+	if c == nil {
+		return
+	}
+	ulCfg := c.ulConfigs[slot]
+	if ulCfg == nil {
+		return
+	}
+	results := c.ulResults[slot]
+	seen := c.ulSeen[slot]
+
+	crcs := make([]fapi.CRCResult, 0, len(ulCfg.PDUs))
+	var payloads []fapi.TBPayload
+	for _, res := range results {
+		crcs = append(crcs, res.crc)
+		if res.crc.OK {
+			payloads = append(payloads, fapi.TBPayload{
+				UEID: res.crc.UEID, HARQID: res.crc.HARQID, Data: res.payload,
+			})
+		}
+	}
+	for _, pdu := range ulCfg.PDUs {
+		if seen[pdu.UEID] {
+			continue
+		}
+		// No fronthaul reception for this grant: report DTX as decode
+		// failure so the L2 HARQ machinery retransmits.
+		snr := float32(0)
+		if f := c.snr[pdu.UEID]; f != nil {
+			snr = float32(f.Value())
+		}
+		crcs = append(crcs, fapi.CRCResult{UEID: pdu.UEID, HARQID: pdu.HARQID, OK: false, SNRdB: snr})
+		p.Stats.DecodeFail++
+	}
+	if len(payloads) > 0 {
+		p.fapiOut(&fapi.RxData{CellID: cellID, Slot: slot, Payloads: payloads})
+	}
+	if len(crcs) > 0 {
+		p.fapiOut(&fapi.CRCIndication{CellID: cellID, Slot: slot, Results: crcs})
+	}
+	delete(c.ulResults, slot)
+	delete(c.ulSeen, slot)
+}
+
+// applyMIMOError injects the residual equalization error of a partially
+// trained massive-MIMO combiner: a multiplicative per-symbol perturbation
+// capping the effective SINR until MIMORetrainSlots receptions have
+// (re)trained the UE's matrices. No-op unless the PHY is configured as a
+// massive-MIMO build.
+func (p *PHY) applyMIMOError(c *cell, ue uint16, iq []complex128) {
+	n := p.Cfg.MIMORetrainSlots
+	if n <= 0 {
+		return
+	}
+	t := c.mimoTrain[ue]
+	if t < n {
+		frac := float64(t) / float64(n)
+		capDB := p.Cfg.MIMOUntrainedCapDB + (42-p.Cfg.MIMOUntrainedCapDB)*frac
+		sigma := math.Pow(10, -capDB/20)
+		for i := range iq {
+			e := complex(p.rng.Norm()*sigma, p.rng.Norm()*sigma)
+			iq[i] += iq[i] * e
+		}
+	}
+	c.mimoTrain[ue] = t + 1
+}
+
+// DiscardSoftState drops every cell's HARQ buffers and SNR filters. This
+// is what happens implicitly at migration: the destination PHY simply has
+// no soft state. Exposed for the stress-test instrumentation (§8.4).
+// It returns the number of interrupted HARQ sequences.
+func (p *PHY) DiscardSoftState() int {
+	interrupted := 0
+	for _, c := range p.cells {
+		interrupted += c.pool.Reset()
+		for _, f := range c.snr {
+			f.Reset()
+		}
+		c.mimoTrain = make(map[uint16]int)
+	}
+	return interrupted
+}
+
+// ActiveHARQ returns the number of in-flight (un-acked) uplink HARQ
+// sequences for a cell — the soft state a migration strands (§8.4).
+func (p *PHY) ActiveHARQ(cell uint16) int {
+	if c := p.cells[cell]; c != nil {
+		return c.pool.ActiveSequences()
+	}
+	return 0
+}
+
+// HARQInterrupted returns the cumulative interrupted-sequence count.
+func (p *PHY) HARQInterrupted() uint64 {
+	var n uint64
+	for _, c := range p.cells {
+		n += c.pool.Interrupted
+	}
+	return n
+}
+
+// CellConfigured reports whether the PHY has a configured cell.
+func (p *PHY) CellConfigured(id uint16) bool { return p.cells[id] != nil }
+
+// CellStarted reports whether the cell is processing slots.
+func (p *PHY) CellStarted(id uint16) bool {
+	c := p.cells[id]
+	return c != nil && c.started
+}
+
+// CellIters returns the FEC iteration budget of a configured cell (0 if
+// absent) — used by upgrade tests.
+func (p *PHY) CellIters(id uint16) int {
+	if c := p.cells[id]; c != nil {
+		return c.iters
+	}
+	return 0
+}

@@ -1,0 +1,78 @@
+// Package phy implements the software 5G PHY process the paper's testbed
+// runs as Intel FlexRAN: the per-slot FAPI front-end, the uplink decode
+// chain (channel estimation → equalization → demodulation → descrambling →
+// HARQ soft-combining → FEC decoding → CRC check), the downlink encode
+// chain, the 3-slot pipelined slot processing of Fig 7, and the realtime
+// behaviours Slingshot leans on — the per-slot downlink C-plane heartbeat
+// and the crash-on-missing-FAPI discipline (§6.2).
+package phy
+
+import "slingshot/internal/sim"
+
+// TTI is the slot duration of the evaluated cell: 30 kHz subcarrier
+// spacing gives 500 µs slots.
+const TTI = 500 * sim.Microsecond
+
+// SlotKind classifies a TTI in the TDD pattern.
+type SlotKind uint8
+
+// Slot kinds in the DDDSU pattern.
+const (
+	SlotDL SlotKind = iota
+	SlotSpecial
+	SlotUL
+)
+
+func (k SlotKind) String() string {
+	switch k {
+	case SlotDL:
+		return "D"
+	case SlotSpecial:
+		return "S"
+	default:
+		return "U"
+	}
+}
+
+// KindOf returns the slot kind under the cell's "DDDSU" TDD format: three
+// downlink slots, one special (guard) slot, one uplink slot.
+func KindOf(absSlot uint64) SlotKind {
+	switch absSlot % 5 {
+	case 3:
+		return SlotSpecial
+	case 4:
+		return SlotUL
+	default:
+		return SlotDL
+	}
+}
+
+// NextULSlot returns the first uplink slot >= from.
+func NextULSlot(from uint64) uint64 {
+	for KindOf(from) != SlotUL {
+		from++
+	}
+	return from
+}
+
+// NextDLSlot returns the first downlink slot >= from.
+func NextDLSlot(from uint64) uint64 {
+	for KindOf(from) != SlotDL {
+		from++
+	}
+	return from
+}
+
+// SlotStart returns the virtual time at which absSlot begins (slot 0
+// starts at time 0 in every deployment).
+func SlotStart(absSlot uint64) sim.Time {
+	return sim.Time(absSlot) * TTI
+}
+
+// SlotAt returns the absolute slot containing time t.
+func SlotAt(t sim.Time) uint64 {
+	if t < 0 {
+		return 0
+	}
+	return uint64(t / TTI)
+}

@@ -1,0 +1,314 @@
+package rlc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"slingshot/internal/sim"
+)
+
+func TestSinglePacketRoundTrip(t *testing.T) {
+	tx, rx := NewTx(), NewRx()
+	tx.Enqueue([]byte("hello"))
+	pdu := tx.BuildPDU(100)
+	pkts, err := rx.Ingest(pdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 1 || string(pkts[0]) != "hello" {
+		t.Fatalf("pkts = %q", pkts)
+	}
+	if rx.Delivered != 1 {
+		t.Fatalf("Delivered = %d", rx.Delivered)
+	}
+}
+
+func TestMultiplePacketsOnePDU(t *testing.T) {
+	tx, rx := NewTx(), NewRx()
+	tx.Enqueue([]byte("aaa"))
+	tx.Enqueue([]byte("bb"))
+	tx.Enqueue([]byte("cccc"))
+	pkts, err := rx.Ingest(tx.BuildPDU(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 3 {
+		t.Fatalf("got %d packets", len(pkts))
+	}
+	if tx.Backlog() != 0 || tx.QueueLen() != 0 {
+		t.Fatal("backlog not drained")
+	}
+}
+
+func TestFragmentationAcrossPDUs(t *testing.T) {
+	tx, rx := NewTx(), NewRx()
+	big := bytes.Repeat([]byte{0xAB}, 500)
+	tx.Enqueue(big)
+	var got [][]byte
+	for i := 0; i < 10 && tx.Backlog() > 0; i++ {
+		pkts, err := rx.Ingest(tx.BuildPDU(100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, pkts...)
+	}
+	if len(got) != 1 || !bytes.Equal(got[0], big) {
+		t.Fatalf("reassembly failed: %d packets", len(got))
+	}
+}
+
+func TestPaddingPDUWhenEmpty(t *testing.T) {
+	tx, rx := NewTx(), NewRx()
+	pkts, err := rx.Ingest(tx.BuildPDU(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 0 {
+		t.Fatal("padding PDU produced packets")
+	}
+}
+
+func TestOutOfOrderReassembly(t *testing.T) {
+	tx, rx := NewTx(), NewRx()
+	tx.Enqueue([]byte("one"))
+	tx.Enqueue([]byte("two"))
+	p1 := tx.BuildPDU(12) // only "one" fits (4+3+3+... header math)
+	p2 := tx.BuildPDU(12)
+	// Deliver out of order: p2 first must be buffered.
+	pkts, err := rx.Ingest(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 0 {
+		t.Fatal("out-of-order PDU delivered early")
+	}
+	if !rx.HasGap() {
+		t.Fatal("gap not reported")
+	}
+	pkts, err = rx.Ingest(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 2 || string(pkts[0]) != "one" || string(pkts[1]) != "two" {
+		t.Fatalf("in-order drain wrong: %q", pkts)
+	}
+}
+
+func TestSkipGapDiscardsSpanningPacket(t *testing.T) {
+	tx, rx := NewTx(), NewRx()
+	big := bytes.Repeat([]byte{1}, 200)
+	tx.Enqueue(big)
+	tx.Enqueue([]byte("after"))
+	p1 := tx.BuildPDU(110) // first half of big
+	_ = p1
+	p2 := tx.BuildPDU(110) // second half of big
+	p3 := tx.BuildPDU(110) // "after"
+	// p1 lost.
+	if _, err := rx.Ingest(p2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rx.Ingest(p3); err != nil {
+		t.Fatal(err)
+	}
+	pkts := rx.SkipGap()
+	if len(pkts) != 1 || string(pkts[0]) != "after" {
+		t.Fatalf("SkipGap delivered %q", pkts)
+	}
+	if rx.Discarded != 1 {
+		t.Fatalf("Discarded = %d", rx.Discarded)
+	}
+}
+
+func TestDuplicateDropped(t *testing.T) {
+	tx, rx := NewTx(), NewRx()
+	tx.Enqueue([]byte("x"))
+	pdu := tx.BuildPDU(100)
+	if _, err := rx.Ingest(pdu); err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := rx.Ingest(pdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 0 {
+		t.Fatal("duplicate delivered")
+	}
+	if rx.Delivered != 1 {
+		t.Fatalf("Delivered = %d", rx.Delivered)
+	}
+}
+
+func TestMalformedPDUs(t *testing.T) {
+	rx := NewRx()
+	if _, err := rx.Ingest([]byte{1}); err != ErrMalformed {
+		t.Fatalf("short PDU: %v", err)
+	}
+	// Claims 1 segment but no body.
+	bad := []byte{0, 0, 0, 1}
+	if _, err := rx.Ingest(bad); err != ErrMalformed {
+		t.Fatalf("truncated segment: %v", err)
+	}
+}
+
+func TestWindowJumpDiscards(t *testing.T) {
+	tx, rx := NewTx(), NewRx()
+	rx.WindowSize = 8
+	var pdus [][]byte
+	for i := 0; i < 20; i++ {
+		tx.Enqueue([]byte{byte(i)})
+		pdus = append(pdus, tx.BuildPDU(100))
+	}
+	// Deliver PDU 0, then jump to PDU 15 (outside window).
+	if _, err := rx.Ingest(pdus[0]); err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := rx.Ingest(pdus[15])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 1 || pkts[0][0] != 15 {
+		t.Fatalf("window jump delivered %v", pkts)
+	}
+	// Continue in order from 16.
+	pkts, _ = rx.Ingest(pdus[16])
+	if len(pkts) != 1 || pkts[0][0] != 16 {
+		t.Fatalf("post-jump delivery %v", pkts)
+	}
+}
+
+// TestStreamProperty pushes random packets through a lossless but
+// reordering-prone channel and verifies byte-exact in-order delivery.
+func TestStreamProperty(t *testing.T) {
+	rng := sim.NewRNG(42)
+	f := func(sizes []uint16, grant uint8) bool {
+		tx, rx := NewTx(), NewRx()
+		var want [][]byte
+		for i, s := range sizes {
+			pkt := make([]byte, int(s)%1500+1)
+			for j := range pkt {
+				pkt[j] = byte(i + j)
+			}
+			tx.Enqueue(append([]byte(nil), pkt...))
+			want = append(want, pkt)
+		}
+		grantSize := int(grant)%300 + 20
+		var got [][]byte
+		for tx.Backlog() > 0 {
+			pkts, err := rx.Ingest(tx.BuildPDU(grantSize))
+			if err != nil {
+				return false
+			}
+			got = append(got, pkts...)
+		}
+		// Flush trailing padding PDU (no-op) and compare.
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				return false
+			}
+		}
+		_ = rng
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLossProperty drops random PDUs and verifies every delivered packet
+// is byte-exact (no corruption, only loss) after gaps are skipped.
+func TestLossProperty(t *testing.T) {
+	rng := sim.NewRNG(77)
+	f := func(n uint8, lossSeed uint16) bool {
+		tx, rx := NewTx(), NewRx()
+		count := int(n)%30 + 5
+		want := map[string]bool{}
+		for i := 0; i < count; i++ {
+			pkt := []byte{byte(i), byte(i * 3), byte(i * 7)}
+			tx.Enqueue(append([]byte(nil), pkt...))
+			want[string(pkt)] = true
+		}
+		loss := sim.NewRNG(uint64(lossSeed))
+		var delivered [][]byte
+		for tx.Backlog() > 0 {
+			pdu := tx.BuildPDU(40)
+			if loss.Bool(0.3) {
+				continue
+			}
+			pkts, err := rx.Ingest(pdu)
+			if err != nil {
+				return false
+			}
+			delivered = append(delivered, pkts...)
+		}
+		delivered = append(delivered, rx.SkipGap()...)
+		for _, pkt := range delivered {
+			if !want[string(pkt)] {
+				return false
+			}
+		}
+		_ = rng
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tx := NewTx()
+	tx.Enqueue([]byte("aaaa"))
+	tx.Enqueue([]byte("bbbb"))
+	tx.BuildPDU(9) // partially send "aaaa"
+	clone := tx.Clone()
+	if clone.Backlog() != tx.Backlog() {
+		t.Fatalf("clone backlog %d != %d", clone.Backlog(), tx.Backlog())
+	}
+	// Draining the original must not affect the clone.
+	for tx.Backlog() > 0 {
+		tx.BuildPDU(50)
+	}
+	if clone.Backlog() == 0 {
+		t.Fatal("clone shares state with original")
+	}
+	// The clone continues the SN space correctly: a fresh Rx fed the
+	// original's first PDU then the clone's next PDUs reassembles.
+	rx := NewRx()
+	tx2 := NewTx()
+	tx2.Enqueue([]byte("aaaa"))
+	tx2.Enqueue([]byte("bbbb"))
+	first := tx2.BuildPDU(9)
+	cl := tx2.Clone()
+	var pkts [][]byte
+	p, _ := rx.Ingest(first)
+	pkts = append(pkts, p...)
+	for cl.Backlog() > 0 {
+		p, _ = rx.Ingest(cl.BuildPDU(50))
+		pkts = append(pkts, p...)
+	}
+	if len(pkts) != 2 || string(pkts[0]) != "aaaa" || string(pkts[1]) != "bbbb" {
+		t.Fatalf("handoff reassembly: %q", pkts)
+	}
+}
+
+func TestRxCloneIndependence(t *testing.T) {
+	tx, rx := NewTx(), NewRx()
+	tx.Enqueue([]byte("one"))
+	tx.Enqueue([]byte("two"))
+	p1 := tx.BuildPDU(12)
+	p2 := tx.BuildPDU(12)
+	rx.Ingest(p2) // buffered out-of-order
+	clone := rx.Clone()
+	pkts, _ := rx.Ingest(p1)
+	if len(pkts) != 2 {
+		t.Fatalf("original drained %d", len(pkts))
+	}
+	// Clone still has the gap and can be completed independently.
+	pkts, _ = clone.Ingest(p1)
+	if len(pkts) != 2 {
+		t.Fatalf("clone drained %d", len(pkts))
+	}
+}

@@ -1,0 +1,241 @@
+// Package ru models the radio unit: the cell-site hardware that converts
+// between over-the-air signals and O-RAN split-7.2x fronthaul packets. The
+// RU is deliberately dumb (as commercial RUs are, §9): it beams whatever
+// downlink IQ arrives, samples the uplink every UL slot, and addresses all
+// fronthaul to a virtual PHY address that the in-switch middlebox resolves
+// to the current primary PHY (§5.1).
+package ru
+
+import (
+	"slingshot/internal/fapi"
+	"slingshot/internal/fronthaul"
+	"slingshot/internal/netmodel"
+	"slingshot/internal/phy"
+	"slingshot/internal/sim"
+)
+
+// AttachedUE is the over-the-air contract between the RU and a UE. The ue
+// package's UE implements it.
+type AttachedUE interface {
+	ID() uint16
+	// DeliverControl hands the slot's C-plane sections to the UE.
+	DeliverControl(absSlot uint64, secs []fronthaul.Section)
+	// DeliverDownlink hands a DL U-plane packet to the UE.
+	DeliverDownlink(absSlot uint64, pkt *fronthaul.Packet)
+	// PullUplink asks the UE for its granted uplink transmission.
+	PullUplink(absSlot uint64) (iq []complex128, aux []byte, ok bool)
+	// CollectUCI drains the UE's pending control reports.
+	CollectUCI() []fapi.UCI
+}
+
+// Config parameterizes an RU.
+type Config struct {
+	Cell uint16
+	// MantissaBits is the fronthaul BFP width.
+	MantissaBits int
+	// ULOffset is when within a slot uplink U-plane packets leave.
+	ULOffset sim.Time
+	// StatusOffset is when the per-slot UL C-plane status packet leaves.
+	StatusOffset sim.Time
+}
+
+// DefaultConfig returns the standard RU configuration.
+func DefaultConfig(cell uint16) Config {
+	return Config{
+		Cell:         cell,
+		MantissaBits: 9,
+		ULOffset:     60 * sim.Microsecond,
+		StatusOffset: 200 * sim.Microsecond,
+	}
+}
+
+// Stats counts RU activity.
+type Stats struct {
+	DLControlRx uint64
+	DLDataRx    uint64
+	ULDataTx    uint64
+	StatusTx    uint64
+	DecodeErr   uint64
+}
+
+// RU is one radio unit.
+type RU struct {
+	Cfg    Config
+	Engine *sim.Engine
+	Addr   netmodel.Addr
+	Stats  Stats
+
+	// SendFronthaul transmits towards the switch.
+	SendFronthaul func(*netmodel.Frame)
+
+	ues       []AttachedUE
+	seq       uint8
+	stopClock func()
+	lastDL    sim.Time
+	everDL    bool
+}
+
+// New creates an RU.
+func New(e *sim.Engine, cfg Config) *RU {
+	if cfg.MantissaBits == 0 {
+		cfg.MantissaBits = 9
+	}
+	return &RU{Cfg: cfg, Engine: e, Addr: netmodel.RUAddr(cfg.Cell)}
+}
+
+// AddUE registers a UE in the cell's radio range.
+func (r *RU) AddUE(u AttachedUE) { r.ues = append(r.ues, u) }
+
+// Start begins the RU's slot clock at the next slot boundary.
+func (r *RU) Start() {
+	if r.stopClock != nil {
+		return
+	}
+	now := r.Engine.Now()
+	next := (now + phy.TTI - 1) / phy.TTI * phy.TTI
+	r.stopClock = r.Engine.Every(next-now, phy.TTI, "ru.slot", r.onSlot)
+}
+
+// Stop halts the RU (teardown).
+func (r *RU) Stop() {
+	if r.stopClock != nil {
+		r.stopClock()
+		r.stopClock = nil
+	}
+}
+
+func (r *RU) onSlot() {
+	slot := phy.SlotAt(r.Engine.Now())
+	// Per-slot UL C-plane status packet: carries the UEs' UCI reports and
+	// doubles as the RU-side packet stream the switch's migration-request
+	// matching needs every slot (§5.1).
+	r.sendStatus(slot)
+	if phy.KindOf(slot) == phy.SlotUL {
+		r.collectUplink(slot)
+	}
+}
+
+func (r *RU) sendStatus(slot uint64) {
+	var reports []fapi.UCI
+	for _, u := range r.ues {
+		reports = append(reports, u.CollectUCI()...)
+	}
+	pkt := fronthaul.NewControl(r.Cfg.Cell, r.seq, fronthaul.Uplink,
+		fronthaul.SlotFromCounter(slot), 0)
+	r.seq++
+	pkt.Aux = fapi.EncodeUCIList(reports)
+	r.transmit(r.Cfg.StatusOffset, pkt, 0)
+	r.Stats.StatusTx++
+}
+
+func (r *RU) collectUplink(slot uint64) {
+	for _, u := range r.ues {
+		iq, aux, ok := u.PullUplink(slot)
+		if !ok {
+			continue
+		}
+		iq = phy.PadSymbols(iq)
+		pkt, err := fronthaul.NewUplinkIQ(r.Cfg.Cell, r.seq,
+			fronthaul.SlotFromCounter(slot), 0, 0, iq, r.Cfg.MantissaBits)
+		if err != nil {
+			continue
+		}
+		r.seq++
+		pkt.Section = u.ID()
+		pkt.Aux = aux
+		// Virtual size: a full-carrier UL slot's IQ share for this UE.
+		virtual := len(iq) / 12 * fronthaul.BFPBlockBytes(r.Cfg.MantissaBits) * 4
+		r.transmit(r.Cfg.ULOffset, pkt, virtual)
+		r.Stats.ULDataTx++
+	}
+}
+
+// transmit ships a fronthaul packet to the virtual PHY address after an
+// intra-slot offset.
+func (r *RU) transmit(offset sim.Time, pkt *fronthaul.Packet, virtual int) {
+	frame := &netmodel.Frame{
+		Src:     r.Addr,
+		Dst:     netmodel.VirtualPHYAddr(r.Cfg.Cell),
+		Type:    netmodel.EtherTypeECPRI,
+		Payload: pkt.Serialize(),
+		Virtual: virtual,
+	}
+	r.Engine.After(offset, "ru.fh-tx", func() {
+		if r.SendFronthaul != nil {
+			r.SendFronthaul(frame)
+		}
+	})
+}
+
+// HandleFrame receives downlink fronthaul from the switch and beams it to
+// the UEs.
+func (r *RU) HandleFrame(f *netmodel.Frame) {
+	if f.Type != netmodel.EtherTypeECPRI {
+		return
+	}
+	pkt, err := fronthaul.Decode(f.Payload)
+	if err != nil {
+		r.Stats.DecodeErr++
+		return
+	}
+	if pkt.Dir != fronthaul.Downlink {
+		return
+	}
+	r.lastDL = r.Engine.Now()
+	r.everDL = true
+	// Resolve the wrapped slot id against the current time: the RU is
+	// PTP-synchronized, so the packet's slot is within a wrap period of
+	// now.
+	abs := resolveSlot(pkt.Slot, phy.SlotAt(r.Engine.Now()))
+	switch pkt.Type {
+	case fronthaul.MsgRTControl:
+		r.Stats.DLControlRx++
+		secs, err := fronthaul.DecodeSections(pkt.Payload)
+		if err != nil {
+			r.Stats.DecodeErr++
+			return
+		}
+		for _, u := range r.ues {
+			u.DeliverControl(abs, secs)
+		}
+	case fronthaul.MsgIQData:
+		r.Stats.DLDataRx++
+		for _, u := range r.ues {
+			if u.ID() == pkt.Section {
+				u.DeliverDownlink(abs, pkt)
+			}
+		}
+	}
+}
+
+// Alive reports whether the cell received downlink fronthaul within the
+// given window — the signal a searching UE locks onto.
+func (r *RU) Alive(window sim.Time) bool {
+	return r.everDL && r.Engine.Now()-r.lastDL <= window
+}
+
+// resolveSlot maps a wrapped SlotID to the absolute slot nearest to now.
+func resolveSlot(sid fronthaul.SlotID, nowSlot uint64) uint64 {
+	base := nowSlot - nowSlot%fronthaul.SlotWrap
+	idx := sid.Index()
+	candidates := []uint64{base + idx}
+	if base >= fronthaul.SlotWrap {
+		candidates = append(candidates, base-fronthaul.SlotWrap+idx)
+	}
+	candidates = append(candidates, base+fronthaul.SlotWrap+idx)
+	best := candidates[0]
+	bestDist := dist(best, nowSlot)
+	for _, c := range candidates[1:] {
+		if d := dist(c, nowSlot); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+func dist(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

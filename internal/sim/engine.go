@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events with equal times fire in the order
+// they were scheduled (FIFO tie-break by sequence number), which keeps runs
+// fully deterministic.
+type Event struct {
+	At   Time
+	Do   func()
+	Name string // optional label for tracing
+
+	seq      uint64
+	index    int // heap index; -1 when not queued
+	canceled bool
+}
+
+// Cancel marks the event so it will not fire. Safe to call multiple times
+// and after the event has fired (no-op).
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e != nil && e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event simulation core. It is not safe for
+// concurrent use: simulated entities are single-threaded by design, matching
+// the determinism requirement.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	nextSeq uint64
+	stopped bool
+
+	// Processed counts events executed so far (observability).
+	Processed uint64
+}
+
+// NewEngine creates an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time at. Scheduling in the past (before
+// Now) panics: it would silently reorder causality.
+func (e *Engine) At(at Time, name string, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event %q at %v before now %v", name, at, e.now))
+	}
+	ev := &Event{At: at, Do: fn, Name: name, seq: e.nextSeq}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, name string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, name, fn)
+}
+
+// Every schedules fn to run every period, with the first firing delay
+// after the current time. It returns a cancel function that stops future
+// firings. fn observes the engine clock.
+func (e *Engine) Every(delay, period Time, name string, fn func()) (cancel func()) {
+	if period <= 0 {
+		panic("sim: Every requires a positive period")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	stopped := false
+	var tick func()
+	var pending *Event
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped { // fn may have canceled us
+			pending = e.At(e.now+period, name, tick)
+		}
+	}
+	pending = e.At(e.now+delay, name, tick)
+	return func() {
+		stopped = true
+		pending.Cancel()
+	}
+}
+
+// Step executes the next pending event. It returns false when the queue is
+// empty or the engine is stopped.
+func (e *Engine) Step() bool {
+	for {
+		if e.stopped || e.queue.Len() == 0 {
+			return false
+		}
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.At
+		e.Processed++
+		ev.Do()
+		return true
+	}
+}
+
+// RunUntil executes events until the clock would pass deadline or the queue
+// drains. The clock is left at deadline if it was reached with the queue
+// still holding later events.
+func (e *Engine) RunUntil(deadline Time) {
+	for !e.stopped {
+		if e.queue.Len() == 0 {
+			break
+		}
+		// Peek.
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.At > deadline {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.At
+		e.Processed++
+		next.Do()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// Stop halts the engine; Step and RunUntil return immediately afterwards.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Pending returns the number of queued (possibly canceled) events.
+func (e *Engine) Pending() int { return e.queue.Len() }

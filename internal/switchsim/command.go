@@ -1,0 +1,90 @@
+// Package switchsim models the edge datacenter's programmable switch and
+// Slingshot's in-switch fronthaul middlebox (§5 of the paper): the
+// RU-to-PHY mapping pipeline built from match-action tables and register
+// arrays, the migration-request store that remaps an RU at an exact TTI
+// boundary, and the inter-packet-gap failure detector driven by the packet
+// generator's timer packets (§5.2).
+//
+// The dataplane obeys P4-ish restrictions: per-packet work is bounded
+// table lookups and register reads/writes keyed by small integer ids — no
+// general hash tables, no timers (timer ticks are emulated with generated
+// packets, as on Tofino). The control plane is a separate, slow path with
+// a modeled rule-update latency.
+package switchsim
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"slingshot/internal/fronthaul"
+)
+
+// CommandType discriminates control packets handled in the dataplane.
+type CommandType uint8
+
+// Control packet types.
+const (
+	// CmdMigrateOnSlot asks the dataplane to remap an RU to a new PHY at
+	// an exact future slot (§5.1, "Controlling fronthaul migration").
+	CmdMigrateOnSlot CommandType = 1
+	// CmdFailureNotify is sent by the switch to the L2-side Orion when
+	// the failure detector fires (§5.2.2).
+	CmdFailureNotify CommandType = 2
+)
+
+// Command is the payload of a control-plane packet traversing the
+// dataplane (EtherTypeControl frames).
+type Command struct {
+	Type CommandType
+	RU   uint8
+	PHY  uint8
+	// Slot is the wrapped slot id to migrate at (MigrateOnSlot).
+	Slot fronthaul.SlotID
+	// AbsSlot is the absolute slot counter (diagnostics only; the
+	// dataplane matches on the wrapped Slot like real hardware would).
+	AbsSlot uint64
+}
+
+// ErrBadCommand reports a malformed control payload.
+var ErrBadCommand = errors.New("switchsim: malformed command packet")
+
+const commandWire = 1 + 1 + 1 + 3 + 8
+
+// Encode serializes the command.
+func (c *Command) Encode() []byte {
+	out := make([]byte, commandWire)
+	out[0] = byte(c.Type)
+	out[1] = c.RU
+	out[2] = c.PHY
+	out[3] = c.Slot.Frame
+	out[4] = c.Slot.Subframe
+	out[5] = c.Slot.Slot
+	binary.BigEndian.PutUint64(out[6:14], c.AbsSlot)
+	return out
+}
+
+// DecodeCommand parses a control payload.
+func DecodeCommand(data []byte) (*Command, error) {
+	if len(data) < commandWire {
+		return nil, ErrBadCommand
+	}
+	c := &Command{
+		Type:    CommandType(data[0]),
+		RU:      data[1],
+		PHY:     data[2],
+		Slot:    fronthaul.SlotID{Frame: data[3], Subframe: data[4], Slot: data[5]},
+		AbsSlot: binary.BigEndian.Uint64(data[6:14]),
+	}
+	if c.Type != CmdMigrateOnSlot && c.Type != CmdFailureNotify {
+		return nil, ErrBadCommand
+	}
+	return c, nil
+}
+
+// slotGE reports whether wrapped slot a is at-or-after b, interpreting the
+// shorter way around the wrap ring (the dataplane's comparison must
+// tolerate a command armed slightly in the future).
+func slotGE(a, b fronthaul.SlotID) bool {
+	diff := (a.Index() + fronthaul.SlotWrap - b.Index()) % fronthaul.SlotWrap
+	return diff < fronthaul.SlotWrap/2
+}

@@ -1,0 +1,397 @@
+package switchsim
+
+import (
+	"fmt"
+
+	"slingshot/internal/fronthaul"
+	"slingshot/internal/netmodel"
+	"slingshot/internal/sim"
+)
+
+// MaxIDs is the id space of the indirection layer: vRAN operators assign
+// logical 8-bit RU and PHY ids at installation time, so the dataplane maps
+// are plain register arrays instead of general hash tables (§5.1).
+const MaxIDs = 256
+
+// NoPHY marks an unmapped RU.
+const NoPHY = 0xFF
+
+type migrationRequest struct {
+	armed   bool
+	slot    fronthaul.SlotID
+	absSlot uint64
+	phy     uint8
+	armedAt sim.Time
+}
+
+type detectorState struct {
+	armed   bool
+	counter int
+	notify  netmodel.Addr
+	// seen gates counting until the PHY's first downlink packet: a
+	// liveness detector cannot time out a stream that never started.
+	seen bool
+	// fired latches until the PHY is re-armed, so a dead PHY produces one
+	// notification, not one per tick.
+	fired bool
+}
+
+// MigrationRecord describes one executed fronthaul migration.
+type MigrationRecord struct {
+	RU       uint8
+	FromPHY  uint8
+	ToPHY    uint8
+	At       sim.Time
+	Slot     fronthaul.SlotID
+	ArmDelay sim.Time // time between command arrival and execution
+}
+
+// Stats counts dataplane activity.
+type Stats struct {
+	Forwarded          uint64
+	UplinkForwarded    uint64
+	DownlinkForwarded  uint64
+	DroppedNoRoute     uint64
+	DroppedStalePHY    uint64 // DL packets from a non-active PHY (§5.1)
+	DroppedUnmappedRU  uint64
+	CommandsReceived   uint64
+	TimerTicks         uint64
+	FailuresDetected   uint64
+	MigrationsExecuted uint64
+}
+
+// Switch is the Tofino-style device. It implements netmodel.Receiver as
+// its ingress pipeline; egress links are registered per endpoint address.
+type Switch struct {
+	Engine *sim.Engine
+	Stats  Stats
+
+	// Egress ports by endpoint MAC.
+	ports map[netmodel.Addr]*netmodel.Link
+
+	// Dataplane tables and registers.
+	ruIDByMAC   map[netmodel.Addr]uint8 // ID directory (match-action)
+	phyIDByMAC  map[netmodel.Addr]uint8 // reverse PHY directory
+	phyMACByID  [MaxIDs]netmodel.Addr   // address directory
+	ruMACByID   [MaxIDs]netmodel.Addr
+	ruToPHY     [MaxIDs]uint8 // RU-to-PHY mapping register
+	migrations  [MaxIDs]migrationRequest
+	detectors   [MaxIDs]detectorState
+	ctrlPending int
+
+	// Detector configuration (§5.2.2): timeout T emulated by n timer
+	// packets per period.
+	Timeout    sim.Time
+	TimerTicks int
+	stopTimer  func()
+
+	// History of executed migrations and detections for the experiments.
+	MigrationLog []MigrationRecord
+	DetectionLog []sim.Time
+
+	// Inter-packet gap observation per PHY (the §8.6 measurement that
+	// justifies the 450 µs timeout).
+	dlLastSeen [MaxIDs]sim.Time
+	dlEverSeen [MaxIDs]bool
+	DLGapMax   [MaxIDs]sim.Time
+
+	// ControlPlaneLatency models the slow path for rule updates; the
+	// paper measures 29 ms p99.9 in their testbed. Used only by the
+	// *ControlPlane methods; dataplane updates are per-packet.
+	ControlPlaneLatency sim.Time
+
+	rng *sim.RNG
+}
+
+// DefaultTimeout is the failure-detector timeout chosen in §8.6 from the
+// measured 393 µs max inter-packet gap.
+const DefaultTimeout = 450 * sim.Microsecond
+
+// DefaultTimerTicks is n in §5.2.2: 50 ticks per timeout period gives 9 µs
+// precision at negligible packet-generator load.
+const DefaultTimerTicks = 50
+
+// New creates a switch.
+func New(e *sim.Engine, rng *sim.RNG) *Switch {
+	s := &Switch{
+		Engine:              e,
+		ports:               make(map[netmodel.Addr]*netmodel.Link),
+		ruIDByMAC:           make(map[netmodel.Addr]uint8),
+		phyIDByMAC:          make(map[netmodel.Addr]uint8),
+		Timeout:             DefaultTimeout,
+		TimerTicks:          DefaultTimerTicks,
+		ControlPlaneLatency: 10 * sim.Millisecond,
+		rng:                 rng,
+	}
+	for i := range s.ruToPHY {
+		s.ruToPHY[i] = NoPHY
+	}
+	return s
+}
+
+// Connect registers the egress link toward an endpoint address.
+func (s *Switch) Connect(addr netmodel.Addr, link *netmodel.Link) {
+	s.ports[addr] = link
+}
+
+// InstallRU populates the ID and address directories for an RU. Installation
+// is a deployment-time control-plane operation.
+func (s *Switch) InstallRU(id uint8, mac netmodel.Addr) {
+	s.ruIDByMAC[mac] = id
+	s.ruMACByID[id] = mac
+}
+
+// InstallPHY populates the PHY address directory.
+func (s *Switch) InstallPHY(id uint8, mac netmodel.Addr) {
+	s.phyIDByMAC[mac] = id
+	s.phyMACByID[id] = mac
+}
+
+// SetMapping sets the RU-to-PHY mapping register directly (deployment
+// initialization; runtime changes go through migrate_on_slot commands).
+func (s *Switch) SetMapping(ru, phy uint8) {
+	s.ruToPHY[ru] = phy
+}
+
+// Mapping returns the current PHY id serving an RU.
+func (s *Switch) Mapping(ru uint8) uint8 { return s.ruToPHY[ru] }
+
+// SetMappingViaControlPlane models the slow path: the remap takes effect
+// after the control-plane rule-update latency, with no TTI alignment.
+// This is the baseline Slingshot's in-dataplane update avoids.
+func (s *Switch) SetMappingViaControlPlane(ru, phy uint8, done func(sim.Time)) {
+	issued := s.Engine.Now()
+	// Rule updates exhibit a heavy tail; model lognormal-ish latency with
+	// the paper's 29 ms p99.9.
+	lat := s.ControlPlaneLatency + sim.Time(s.rng.Exp(float64(4*sim.Millisecond)))
+	s.Engine.After(lat, "switch.ctrl-update", func() {
+		s.ruToPHY[ru] = phy
+		if done != nil {
+			done(s.Engine.Now() - issued)
+		}
+	})
+}
+
+// ArmDetector enables failure detection for a PHY id, sending
+// notifications to notify (the L2-side Orion). Also starts the timer
+// packet generator on first use.
+func (s *Switch) ArmDetector(phy uint8, notify netmodel.Addr) {
+	s.detectors[phy] = detectorState{armed: true, notify: notify}
+	s.startTimer()
+}
+
+// DisarmDetector stops monitoring a PHY (e.g. after it was migrated away
+// from and is expected to be silent).
+func (s *Switch) DisarmDetector(phy uint8) {
+	s.detectors[phy].armed = false
+}
+
+func (s *Switch) startTimer() {
+	if s.stopTimer != nil {
+		return
+	}
+	period := s.Timeout / sim.Time(s.TimerTicks)
+	if period < 1 {
+		period = 1
+	}
+	s.stopTimer = s.Engine.Every(period, period, "switch.timer", s.onTimerPacket)
+}
+
+// onTimerPacket is the packet-generator tick: increment every armed PHY's
+// counter; a counter reaching TimerTicks means no downlink packet arrived
+// for a full timeout period.
+func (s *Switch) onTimerPacket() {
+	s.Stats.TimerTicks++
+	for phy := range s.detectors {
+		d := &s.detectors[phy]
+		if !d.armed || !d.seen || d.fired {
+			continue
+		}
+		d.counter++
+		if d.counter >= s.TimerTicks {
+			d.fired = true
+			s.Stats.FailuresDetected++
+			s.DetectionLog = append(s.DetectionLog, s.Engine.Now())
+			s.sendTo(d.notify, &netmodel.Frame{
+				Src:  netmodel.ControllerAddr(),
+				Dst:  d.notify,
+				Type: netmodel.EtherTypeControl,
+				Payload: (&Command{
+					Type: CmdFailureNotify,
+					PHY:  uint8(phy),
+				}).Encode(),
+			})
+		}
+	}
+}
+
+// HandleFrame is the ingress pipeline.
+func (s *Switch) HandleFrame(f *netmodel.Frame) {
+	switch f.Type {
+	case netmodel.EtherTypeECPRI:
+		s.handleFronthaul(f)
+	case netmodel.EtherTypeControl:
+		s.handleControl(f)
+	default:
+		// Non-fronthaul traffic (FAPI, user data) switches on plain L2
+		// destination.
+		s.forward(f.Dst, f)
+	}
+}
+
+func (s *Switch) handleFronthaul(f *netmodel.Frame) {
+	slot, dir, ok := fronthaul.PeekSlot(f.Payload)
+	if !ok {
+		s.Stats.DroppedNoRoute++
+		return
+	}
+	if dir == fronthaul.Uplink {
+		s.handleUplink(f, slot)
+	} else {
+		s.handleDownlink(f, slot)
+	}
+}
+
+// handleUplink steers RU→PHY packets: ID directory → migration check →
+// RU-to-PHY register → address directory (§5.1, Fig 5).
+func (s *Switch) handleUplink(f *netmodel.Frame, slot fronthaul.SlotID) {
+	ru, ok := s.ruIDByMAC[f.Src]
+	if !ok {
+		s.Stats.DroppedUnmappedRU++
+		return
+	}
+	s.maybeMigrate(ru, slot)
+	phy := s.ruToPHY[ru]
+	if phy == NoPHY {
+		s.Stats.DroppedNoRoute++
+		return
+	}
+	dst := s.phyMACByID[phy]
+	if dst == 0 {
+		s.Stats.DroppedNoRoute++
+		return
+	}
+	// Rewrite the virtual PHY address to the physical one.
+	f.Dst = dst
+	s.Stats.UplinkForwarded++
+	s.forward(dst, f)
+}
+
+// handleDownlink steers PHY→RU packets, feeding the failure detector and
+// dropping packets from PHYs that are not the RU's active PHY.
+func (s *Switch) handleDownlink(f *netmodel.Frame, slot fronthaul.SlotID) {
+	phy, ok := s.phyIDByMAC[f.Src]
+	if !ok {
+		s.Stats.DroppedNoRoute++
+		return
+	}
+	// Natural heartbeat: any downlink packet from the PHY clears its gap
+	// counter (§5.2.2).
+	now := s.Engine.Now()
+	if s.dlEverSeen[phy] {
+		if gap := now - s.dlLastSeen[phy]; gap > s.DLGapMax[phy] {
+			s.DLGapMax[phy] = gap
+		}
+	}
+	s.dlLastSeen[phy] = now
+	s.dlEverSeen[phy] = true
+	d := &s.detectors[phy]
+	d.counter = 0
+	d.seen = true
+	if d.fired {
+		// The PHY is sending again (restart/recovery); re-arm.
+		d.fired = false
+	}
+
+	ru, ok := s.ruIDByMAC[f.Dst]
+	if !ok {
+		s.Stats.DroppedNoRoute++
+		return
+	}
+	s.maybeMigrate(ru, slot)
+	if s.ruToPHY[ru] != phy {
+		// Blocks the hot-standby secondary's control-plane packets from
+		// reaching the RU (§5, requirement 2).
+		s.Stats.DroppedStalePHY++
+		return
+	}
+	s.Stats.DownlinkForwarded++
+	s.forward(f.Dst, f)
+}
+
+// maybeMigrate executes a pending migration request when a packet for the
+// RU reaches the migration slot: a pure dataplane register update, so it
+// happens at nanosecond scale and exactly at a TTI boundary.
+func (s *Switch) maybeMigrate(ru uint8, slot fronthaul.SlotID) {
+	req := &s.migrations[ru]
+	if !req.armed || !slotGE(slot, req.slot) {
+		return
+	}
+	from := s.ruToPHY[ru]
+	s.ruToPHY[ru] = req.phy
+	req.armed = false
+	s.Stats.MigrationsExecuted++
+	s.MigrationLog = append(s.MigrationLog, MigrationRecord{
+		RU: ru, FromPHY: from, ToPHY: req.phy,
+		At: s.Engine.Now(), Slot: slot,
+		ArmDelay: s.Engine.Now() - req.armedAt,
+	})
+}
+
+func (s *Switch) handleControl(f *netmodel.Frame) {
+	// Frames not addressed to the switch's controller endpoint are plain
+	// L2 traffic (e.g. Orion→Orion notifications relayed through us).
+	if f.Dst != netmodel.ControllerAddr() {
+		s.forward(f.Dst, f)
+		return
+	}
+	cmd, err := DecodeCommand(f.Payload)
+	if err != nil {
+		s.Stats.DroppedNoRoute++
+		return
+	}
+	s.Stats.CommandsReceived++
+	if cmd.Type == CmdMigrateOnSlot {
+		s.migrations[cmd.RU] = migrationRequest{
+			armed: true, slot: cmd.Slot, absSlot: cmd.AbsSlot,
+			phy: cmd.PHY, armedAt: s.Engine.Now(),
+		}
+	}
+}
+
+func (s *Switch) forward(dst netmodel.Addr, f *netmodel.Frame) {
+	link := s.ports[dst]
+	if link == nil {
+		s.Stats.DroppedNoRoute++
+		return
+	}
+	s.Stats.Forwarded++
+	link.Send(f)
+}
+
+// sendTo emits a switch-originated frame (failure notifications).
+func (s *Switch) sendTo(dst netmodel.Addr, f *netmodel.Frame) {
+	s.forward(dst, f)
+}
+
+// PendingMigration reports whether RU ru has an armed migration request.
+func (s *Switch) PendingMigration(ru uint8) bool { return s.migrations[ru].armed }
+
+// Stop halts the timer packet generator.
+func (s *Switch) Stop() {
+	if s.stopTimer != nil {
+		s.stopTimer()
+		s.stopTimer = nil
+	}
+}
+
+// DetectionPrecision returns the worst-case extra latency of the emulated
+// timer (T/n), 9 µs at the defaults.
+func (s *Switch) DetectionPrecision() sim.Time {
+	return s.Timeout / sim.Time(s.TimerTicks)
+}
+
+func (s *Switch) String() string {
+	return fmt.Sprintf("switch(ports=%d, rus=%d, phys=%d)",
+		len(s.ports), len(s.ruIDByMAC), len(s.phyIDByMAC))
+}

@@ -1,0 +1,158 @@
+package traffic
+
+import (
+	"slingshot/internal/metrics"
+	"slingshot/internal/sim"
+)
+
+// Pinger sends periodic echo requests and records round-trip times — the
+// probe behind Fig 9 (10 ms interval in the paper).
+type Pinger struct {
+	Engine   *sim.Engine
+	Flow     uint16
+	Interval sim.Time
+	Send     SendFunc
+
+	// RTTs holds (sendTime, rttMillis) points for plotting.
+	Times []sim.Time
+	RTTs  []float64
+	// Lost counts probes never answered (judged at Stop).
+	sent     uint64
+	answered uint64
+	stop     func()
+}
+
+// Start begins probing.
+func (p *Pinger) Start() {
+	if p.Interval == 0 {
+		p.Interval = 10 * sim.Millisecond
+	}
+	p.stop = p.Engine.Every(0, p.Interval, "ping.send", func() {
+		h := Header{Type: PktPing, Flow: p.Flow, Seq: p.sent, Ts: p.Engine.Now()}
+		p.sent++
+		p.Send(Marshal(h, 56))
+	})
+}
+
+// Stop halts probing.
+func (p *Pinger) Stop() {
+	if p.stop != nil {
+		p.stop()
+		p.stop = nil
+	}
+}
+
+// Handle processes an echo reply.
+func (p *Pinger) Handle(pkt []byte) {
+	h, _, err := Unmarshal(pkt)
+	if err != nil || h.Type != PktPong || h.Flow != p.Flow {
+		return
+	}
+	p.answered++
+	now := p.Engine.Now()
+	p.Times = append(p.Times, h.Ts)
+	p.RTTs = append(p.RTTs, float64(now-h.Ts)/float64(sim.Millisecond))
+}
+
+// LossCount returns probes sent but never answered so far.
+func (p *Pinger) LossCount() uint64 { return p.sent - p.answered }
+
+// Echo answers ping requests; install it at the peer. reply transmits the
+// response back towards the pinger.
+func Echo(reply SendFunc) func(pkt []byte) {
+	return func(pkt []byte) {
+		h, _, err := Unmarshal(pkt)
+		if err != nil || h.Type != PktPing {
+			return
+		}
+		h.Type = PktPong
+		reply(Marshal(h, 56))
+	}
+}
+
+// VideoSource is the talking-head CBR video sender of Fig 8: a target
+// bitrate chopped into fixed-interval frames.
+type VideoSource struct {
+	Engine  *sim.Engine
+	Flow    uint16
+	RateBps float64
+	FPS     int
+	Send    SendFunc
+
+	seq  uint64
+	stop func()
+	Sent uint64
+}
+
+// Start begins streaming.
+func (v *VideoSource) Start() {
+	if v.FPS == 0 {
+		v.FPS = 25
+	}
+	frameBytes := int(v.RateBps / 8 / float64(v.FPS))
+	if frameBytes < headerLen+1 {
+		frameBytes = headerLen + 1
+	}
+	interval := sim.Second / sim.Time(v.FPS)
+	v.stop = v.Engine.Every(0, interval, "video.frame", func() {
+		// A frame may span several packets (MTU-sized).
+		remaining := frameBytes
+		for remaining > 0 {
+			n := remaining
+			if n > 1250 {
+				n = 1250
+			}
+			h := Header{Type: PktVideo, Flow: v.Flow, Seq: v.seq, Ts: v.Engine.Now()}
+			v.seq++
+			v.Send(Marshal(h, n))
+			v.Sent++
+			remaining -= n
+		}
+	})
+}
+
+// Stop halts the source.
+func (v *VideoSource) Stop() {
+	if v.stop != nil {
+		v.stop()
+		v.stop = nil
+	}
+}
+
+// VideoSink measures received video bitrate per second — the Fig 8 y-axis.
+type VideoSink struct {
+	Engine *sim.Engine
+	Flow   uint16
+	// Bins accumulates received bytes per second.
+	Bins *metrics.TimeSeries
+
+	Received uint64
+	Bytes    uint64
+}
+
+// NewVideoSink creates a sink with 1-second bins.
+func NewVideoSink(e *sim.Engine, flow uint16) *VideoSink {
+	return &VideoSink{
+		Engine: e, Flow: flow,
+		Bins: metrics.NewTimeSeries(0, sim.Second),
+	}
+}
+
+// Handle processes a received video packet.
+func (s *VideoSink) Handle(pkt []byte) {
+	h, plen, err := Unmarshal(pkt)
+	if err != nil || h.Type != PktVideo || h.Flow != s.Flow {
+		return
+	}
+	s.Received++
+	s.Bytes += uint64(plen + headerLen)
+	s.Bins.Add(s.Engine.Now(), float64(plen+headerLen))
+}
+
+// BitrateKbps returns the received bitrate of 1-second bin i.
+func (s *VideoSink) BitrateKbps(i int) float64 {
+	if i >= s.Bins.NumBins() {
+		return 0
+	}
+	return s.Bins.BinSum(i) * 8 / 1000
+}

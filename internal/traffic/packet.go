@@ -1,0 +1,77 @@
+// Package traffic implements the application-layer workloads of the
+// paper's evaluation: iperf-style UDP and TCP (Reno/NewReno) flows, the
+// ping prober of Fig 9, and the CBR video-conferencing source of Fig 8.
+// Flows attach to the simulated RAN through plain send/receive hooks, so
+// the same implementations run uplink (UE→server) and downlink.
+package traffic
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"slingshot/internal/sim"
+)
+
+// PacketType discriminates application packets.
+type PacketType uint8
+
+// Application packet types.
+const (
+	PktUDP PacketType = iota + 1
+	PktTCPData
+	PktTCPAck
+	PktPing
+	PktPong
+	PktVideo
+)
+
+// Header is the common application packet header:
+// type(1) flow(2) seq(8) ack(8) ts(8) paylen(4).
+type Header struct {
+	Type PacketType
+	Flow uint16
+	Seq  uint64
+	Ack  uint64
+	Ts   sim.Time
+}
+
+const headerLen = 1 + 2 + 8 + 8 + 8 + 4
+
+// ErrShort reports an undersized packet.
+var ErrShort = errors.New("traffic: short packet")
+
+// Marshal builds a packet with the given payload length (payload bytes are
+// zero filler: only the length matters to the link).
+func Marshal(h Header, payloadLen int) []byte {
+	out := make([]byte, headerLen+payloadLen)
+	out[0] = byte(h.Type)
+	binary.BigEndian.PutUint16(out[1:3], h.Flow)
+	binary.BigEndian.PutUint64(out[3:11], h.Seq)
+	binary.BigEndian.PutUint64(out[11:19], h.Ack)
+	binary.BigEndian.PutUint64(out[19:27], uint64(h.Ts))
+	binary.BigEndian.PutUint32(out[27:31], uint32(payloadLen))
+	return out
+}
+
+// Unmarshal parses a packet header and returns the payload length.
+func Unmarshal(pkt []byte) (Header, int, error) {
+	if len(pkt) < headerLen {
+		return Header{}, 0, ErrShort
+	}
+	h := Header{
+		Type: PacketType(pkt[0]),
+		Flow: binary.BigEndian.Uint16(pkt[1:3]),
+		Seq:  binary.BigEndian.Uint64(pkt[3:11]),
+		Ack:  binary.BigEndian.Uint64(pkt[11:19]),
+		Ts:   sim.Time(binary.BigEndian.Uint64(pkt[19:27])),
+	}
+	plen := int(binary.BigEndian.Uint32(pkt[27:31]))
+	if len(pkt) < headerLen+plen {
+		return Header{}, 0, ErrShort
+	}
+	return h, plen, nil
+}
+
+// SendFunc injects a packet towards the peer; it reports acceptance (a
+// detached bearer rejects).
+type SendFunc func(pkt []byte) bool

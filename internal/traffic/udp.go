@@ -1,0 +1,109 @@
+package traffic
+
+import (
+	"slingshot/internal/metrics"
+	"slingshot/internal/sim"
+)
+
+// UDPSender is an iperf-style constant-bitrate UDP source.
+type UDPSender struct {
+	Engine  *sim.Engine
+	Flow    uint16
+	RateBps float64
+	PktSize int
+	Send    SendFunc
+
+	seq      uint64
+	Sent     uint64
+	Rejected uint64
+	stop     func()
+}
+
+// Start begins sending at the configured rate.
+func (s *UDPSender) Start() {
+	if s.PktSize < headerLen+1 {
+		s.PktSize = headerLen + 1
+	}
+	interval := sim.Time(float64(s.PktSize*8) / s.RateBps * float64(sim.Second))
+	if interval < sim.Microsecond {
+		interval = sim.Microsecond
+	}
+	s.stop = s.Engine.Every(0, interval, "udp.send", func() {
+		h := Header{Type: PktUDP, Flow: s.Flow, Seq: s.seq, Ts: s.Engine.Now()}
+		s.seq++
+		if s.Send(Marshal(h, s.PktSize-headerLen)) {
+			s.Sent++
+		} else {
+			s.Rejected++
+		}
+	})
+}
+
+// Stop halts the sender.
+func (s *UDPSender) Stop() {
+	if s.stop != nil {
+		s.stop()
+		s.stop = nil
+	}
+}
+
+// UDPReceiver accounts received datagrams into time bins and tracks loss
+// and one-way latency.
+type UDPReceiver struct {
+	Engine *sim.Engine
+	Flow   uint16
+	// Bins accumulates received bytes per bin (10 ms for Fig 10/Table 2).
+	Bins *metrics.TimeSeries
+	// Latency records one-way delays.
+	Latency *metrics.Sample
+
+	Received uint64
+	Bytes    uint64
+	maxSeq   uint64
+	gotAny   bool
+	// Reordered counts out-of-order arrivals (not separate losses).
+	Reordered uint64
+}
+
+// Handle processes one received packet (wire bytes).
+func (r *UDPReceiver) Handle(pkt []byte) {
+	h, plen, err := Unmarshal(pkt)
+	if err != nil || h.Type != PktUDP || h.Flow != r.Flow {
+		return
+	}
+	now := r.Engine.Now()
+	r.Received++
+	r.Bytes += uint64(headerLen + plen)
+	if r.Bins != nil {
+		r.Bins.Add(now, float64(headerLen+plen))
+	}
+	if r.Latency != nil {
+		r.Latency.Add(float64(now-h.Ts) / float64(sim.Millisecond))
+	}
+	if !r.gotAny || h.Seq > r.maxSeq {
+		r.maxSeq = h.Seq
+		r.gotAny = true
+	} else {
+		r.Reordered++
+	}
+}
+
+// Lost estimates datagrams lost so far (sent-range minus received).
+func (r *UDPReceiver) Lost() uint64 {
+	if !r.gotAny {
+		return 0
+	}
+	span := r.maxSeq + 1
+	if span < r.Received {
+		return 0
+	}
+	return span - r.Received
+}
+
+// LossRate returns the flow's loss fraction over everything sent so far.
+func (r *UDPReceiver) LossRate() float64 {
+	if !r.gotAny || r.maxSeq+1 == 0 {
+		return 0
+	}
+	return float64(r.Lost()) / float64(r.maxSeq+1)
+}

@@ -1,0 +1,145 @@
+// Package vmm models pre-copy live VM migration of a running PHY workload
+// — the Fig 3 baseline. QEMU/KVM pre-copy iteratively transfers dirty
+// memory pages; a workload like FlexRAN re-dirties a large working set of
+// IQ/scratch buffers every 500 µs TTI, so the dirty set never shrinks
+// below that hot set and the hypervisor is forced into a long
+// stop-and-copy pause. The paper measures a 244 ms median pause over 80
+// runs (RDMA over 100 GbE) and observes FlexRAN crashing in every run —
+// the realtime PHY tolerates only ~10 µs interruptions (§2.4).
+package vmm
+
+import (
+	"slingshot/internal/sim"
+)
+
+// LinkProfile describes the migration transport.
+type LinkProfile struct {
+	Name string
+	// BytesPerSec is the effective migration throughput.
+	BytesPerSec float64
+	// PerRoundOverhead is protocol overhead added to every round.
+	PerRoundOverhead sim.Time
+}
+
+// Transport profiles for the Fig 3 comparison (100 GbE fabric).
+var (
+	// RDMA achieves near line rate with kernel bypass.
+	RDMA = LinkProfile{Name: "RDMA", BytesPerSec: 11.0e9, PerRoundOverhead: 2 * sim.Millisecond}
+	// TCP loses throughput to the kernel stack and copies.
+	TCP = LinkProfile{Name: "TCP", BytesPerSec: 8.0e9, PerRoundOverhead: 5 * sim.Millisecond}
+)
+
+// Workload describes the guest being migrated.
+type Workload struct {
+	// MemBytes is total guest memory.
+	MemBytes float64
+	// HotWSSBytes is the working set re-dirtied every TTI (IQ buffers,
+	// FEC scratch, DPDK rings): the floor of every pre-copy round.
+	HotWSSBytes float64
+	// HotWSSJitter randomizes the hot set per run (load-dependent).
+	HotWSSJitter float64
+	// DirtyRateBps is the additional background dirtying rate.
+	DirtyRateBps float64
+	// InterruptBudget is the longest pause the workload survives
+	// (sub-10 µs for realtime PHYs, §2.4).
+	InterruptBudget sim.Time
+}
+
+// FlexRANWorkload returns the paper's simplified FlexRAN guest (no PCIe
+// devices, which under-represents real migration time — as the paper
+// notes).
+func FlexRANWorkload() Workload {
+	return Workload{
+		MemBytes:        8e9,
+		HotWSSBytes:     2.7e9,
+		HotWSSJitter:    0.9e9,
+		DirtyRateBps:    1.5e9,
+		InterruptBudget: 10 * sim.Microsecond,
+	}
+}
+
+// Model runs pre-copy migrations.
+type Model struct {
+	Link LinkProfile
+	Work Workload
+	// MaxRounds caps pre-copy iterations before forced stop-and-copy.
+	MaxRounds int
+	// DowntimeTarget: the hypervisor stops copying rounds once the
+	// estimated stop-and-copy time is below this.
+	DowntimeTarget sim.Time
+	// StopResumeOverhead is the fixed VM pause/unpause machinery cost.
+	StopResumeOverhead sim.Time
+
+	rng *sim.RNG
+}
+
+// New builds a model with QEMU-ish defaults.
+func New(link LinkProfile, work Workload, rng *sim.RNG) *Model {
+	return &Model{
+		Link:               link,
+		Work:               work,
+		MaxRounds:          30,
+		DowntimeTarget:     30 * sim.Millisecond,
+		StopResumeOverhead: 25 * sim.Millisecond,
+		rng:                rng,
+	}
+}
+
+// Result is one migration run's outcome.
+type Result struct {
+	PauseTime  sim.Time
+	TotalTime  sim.Time
+	Rounds     int
+	FinalDirty float64
+	// Crashed reports whether the guest workload survived: a realtime
+	// PHY crashes whenever the pause exceeds its interrupt budget.
+	Crashed bool
+}
+
+// Run simulates one migration.
+func (m *Model) Run() Result {
+	hot := m.Work.HotWSSBytes + m.rng.Jitter(m.Work.HotWSSJitter)
+	if hot < 0.2e9 {
+		hot = 0.2e9
+	}
+	bw := m.Link.BytesPerSec * (1 + m.rng.Jitter(0.05))
+
+	res := Result{}
+	dirty := m.Work.MemBytes // round 1 copies everything
+	var total sim.Time
+	for round := 1; round <= m.MaxRounds; round++ {
+		res.Rounds = round
+		t := sim.Time(dirty/bw*float64(sim.Second)) + m.Link.PerRoundOverhead
+		total += t
+		// Pages dirtied during the round: the hot set (fully re-dirtied
+		// many times over within any round ≥ 1 TTI) plus background rate.
+		redirtied := hot + m.Work.DirtyRateBps*t.Seconds()
+		if redirtied > m.Work.MemBytes {
+			redirtied = m.Work.MemBytes
+		}
+		dirty = redirtied
+		est := sim.Time(dirty / bw * float64(sim.Second))
+		if est <= m.DowntimeTarget {
+			break
+		}
+		// Convergence stalls at the hot set; QEMU gives up when rounds
+		// stop shrinking (within 5%).
+		if round > 2 && dirty >= 0.95*redirtied && redirtied >= 0.95*hot+m.Work.DirtyRateBps*t.Seconds()*0.95 {
+			break
+		}
+	}
+	res.FinalDirty = dirty
+	res.PauseTime = sim.Time(dirty/bw*float64(sim.Second)) + m.StopResumeOverhead
+	res.TotalTime = total + res.PauseTime
+	res.Crashed = res.PauseTime > m.Work.InterruptBudget
+	return res
+}
+
+// RunN performs n independent migrations.
+func (m *Model) RunN(n int) []Result {
+	out := make([]Result, n)
+	for i := range out {
+		out[i] = m.Run()
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package vmm
+
+import (
+	"testing"
+
+	"slingshot/internal/metrics"
+	"slingshot/internal/sim"
+)
+
+func TestRDMAPauseDistributionMatchesPaper(t *testing.T) {
+	m := New(RDMA, FlexRANWorkload(), sim.NewRNG(1))
+	results := m.RunN(80)
+	s := metrics.NewSample()
+	for _, r := range results {
+		s.Add(r.PauseTime.Millis())
+	}
+	med := s.Median()
+	// Paper: 244 ms median VM pause with RDMA. Shape target: 150-350 ms.
+	if med < 150 || med > 350 {
+		t.Fatalf("RDMA median pause = %.1f ms, want 150-350 (paper: 244)", med)
+	}
+	if s.Min() < 50 {
+		t.Fatalf("min pause %.1f ms implausibly small", s.Min())
+	}
+	if s.Max() > 600 {
+		t.Fatalf("max pause %.1f ms implausibly large", s.Max())
+	}
+}
+
+func TestTCPSlowerThanRDMA(t *testing.T) {
+	rdma := New(RDMA, FlexRANWorkload(), sim.NewRNG(2))
+	tcp := New(TCP, FlexRANWorkload(), sim.NewRNG(2))
+	sR, sT := metrics.NewSample(), metrics.NewSample()
+	for _, r := range rdma.RunN(80) {
+		sR.Add(r.PauseTime.Millis())
+	}
+	for _, r := range tcp.RunN(80) {
+		sT.Add(r.PauseTime.Millis())
+	}
+	if sT.Median() <= sR.Median() {
+		t.Fatalf("TCP median %.1f ms not above RDMA %.1f ms", sT.Median(), sR.Median())
+	}
+}
+
+func TestFlexRANAlwaysCrashes(t *testing.T) {
+	m := New(RDMA, FlexRANWorkload(), sim.NewRNG(3))
+	for i, r := range m.RunN(80) {
+		if !r.Crashed {
+			t.Fatalf("run %d survived a %.1f ms pause with a 10 us budget", i, r.PauseTime.Millis())
+		}
+	}
+}
+
+func TestGentleWorkloadConverges(t *testing.T) {
+	// A non-realtime guest with a tiny hot set migrates with a short
+	// pause — the contrast that makes the PHY case notable.
+	w := Workload{
+		MemBytes: 8e9, HotWSSBytes: 50e6, DirtyRateBps: 100e6,
+		InterruptBudget: 5 * sim.Second,
+	}
+	m := New(RDMA, w, sim.NewRNG(4))
+	r := m.Run()
+	if r.PauseTime > 120*sim.Millisecond {
+		t.Fatalf("gentle workload pause = %v", r.PauseTime)
+	}
+	if r.Crashed {
+		t.Fatal("gentle workload crashed")
+	}
+	if r.Rounds < 1 {
+		t.Fatalf("rounds = %d", r.Rounds)
+	}
+}
+
+func TestPauseScalesWithHotSet(t *testing.T) {
+	small := FlexRANWorkload()
+	small.HotWSSBytes, small.HotWSSJitter = 1e9, 0
+	big := FlexRANWorkload()
+	big.HotWSSBytes, big.HotWSSJitter = 4e9, 0
+	pSmall := New(RDMA, small, sim.NewRNG(5)).Run().PauseTime
+	pBig := New(RDMA, big, sim.NewRNG(5)).Run().PauseTime
+	if pBig <= pSmall {
+		t.Fatalf("pause did not scale with hot set: %v vs %v", pSmall, pBig)
+	}
+}
+
+func TestTotalTimeExceedsPause(t *testing.T) {
+	m := New(RDMA, FlexRANWorkload(), sim.NewRNG(6))
+	r := m.Run()
+	if r.TotalTime <= r.PauseTime {
+		t.Fatalf("total %v <= pause %v", r.TotalTime, r.PauseTime)
+	}
+	if r.FinalDirty <= 0 {
+		t.Fatal("no final dirty accounting")
+	}
+}

@@ -1,0 +1,204 @@
+// Package slingshot is the public API of the Slingshot reproduction: a
+// simulated 5G vRAN deployment with resilient baseband (PHY) processing.
+//
+// Slingshot (SIGCOMM 2023) makes the vRAN's physical layer resilient to
+// server failures and upgrades with three mechanisms, all reproduced here:
+//
+//   - an in-switch fronthaul middlebox that remaps an RU to a different
+//     PHY server at an exact TTI boundary (§5),
+//   - an in-switch failure detector that treats the PHY's per-slot
+//     downlink packet stream as a natural heartbeat (§5.2), and
+//   - Orion, a FAPI middlebox pair that keeps a hot-standby secondary PHY
+//     alive with null slot requests and swaps it in on migration (§6).
+//
+// The package wraps the deployment assembly in internal/core. A minimal
+// session:
+//
+//	d := slingshot.New(slingshot.DefaultOptions())
+//	d.Start()
+//	d.RunFor(time.Second)
+//	d.KillActivePHY()         // in-switch detection + failover
+//	d.RunFor(time.Second)     // UEs never notice
+//
+// Everything runs on a deterministic discrete-event clock; see DESIGN.md
+// for how the simulation substitutes for the paper's hardware testbed.
+package slingshot
+
+import (
+	"fmt"
+	"time"
+
+	"slingshot/internal/core"
+	"slingshot/internal/experiments"
+	"slingshot/internal/sim"
+)
+
+// UE describes one user device in the deployment.
+type UE struct {
+	ID   uint16
+	Name string
+	// SNRdB is the device's average channel quality; ~25 is a good
+	// mid-cell phone, <5 is cell edge.
+	SNRdB float64
+}
+
+// Options configures a deployment.
+type Options struct {
+	// Seed drives every random stream; equal seeds give identical runs.
+	Seed uint64
+	// UEs in the cell. Nil selects the paper's three-device set.
+	UEs []UE
+	// Baseline selects the paper's no-Slingshot hot-backup-vRAN baseline
+	// instead of a Slingshot deployment.
+	Baseline bool
+	// PrimaryFECIters / SecondaryFECIters override the PHY decoder
+	// iteration budgets (the live-upgrade experiment's knob). Zero keeps
+	// the default (8).
+	PrimaryFECIters   int
+	SecondaryFECIters int
+}
+
+// DefaultOptions returns the three-server, three-UE testbed configuration
+// the paper evaluates.
+func DefaultOptions() Options {
+	return Options{Seed: 1}
+}
+
+// Deployment is a running simulated vRAN.
+type Deployment struct {
+	d *core.Deployment
+}
+
+// New builds a deployment.
+func New(opts Options) *Deployment {
+	cfg := core.DefaultConfig()
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	if opts.UEs != nil {
+		cfg.UEs = nil
+		for _, u := range opts.UEs {
+			cfg.UEs = append(cfg.UEs, core.UESpec{ID: u.ID, Name: u.Name, MeanSNRdB: u.SNRdB})
+		}
+	}
+	if opts.PrimaryFECIters != 0 || opts.SecondaryFECIters != 0 {
+		cfg.PHYIters = map[uint8]int{}
+		if opts.PrimaryFECIters != 0 {
+			cfg.PHYIters[cfg.PrimaryServer] = opts.PrimaryFECIters
+		}
+		if opts.SecondaryFECIters != 0 {
+			cfg.PHYIters[cfg.SecondaryServer] = opts.SecondaryFECIters
+		}
+	}
+	if opts.Baseline {
+		return &Deployment{d: core.NewBaseline(cfg)}
+	}
+	return &Deployment{d: core.NewSlingshot(cfg)}
+}
+
+// Start brings the deployment up (cells configured, clocks running, UEs
+// attached).
+func (dep *Deployment) Start() { dep.d.Start() }
+
+// RunFor advances virtual time by d.
+func (dep *Deployment) RunFor(d time.Duration) {
+	dep.d.Run(dep.d.Engine.Now() + sim.FromDuration(d))
+}
+
+// Now returns the current virtual time since deployment start.
+func (dep *Deployment) Now() time.Duration {
+	return dep.d.Engine.Now().Duration()
+}
+
+// At schedules fn at a virtual time offset from now (executed during a
+// later RunFor).
+func (dep *Deployment) At(d time.Duration, fn func()) {
+	dep.d.Engine.After(sim.FromDuration(d), "api.at", fn)
+}
+
+// KillActivePHY crashes the PHY currently serving the cell, as the
+// experiments' SIGKILL does. With Slingshot, the in-switch detector
+// notices within ~450 µs and fails over to the hot standby.
+func (dep *Deployment) KillActivePHY() { dep.d.KillActivePHY() }
+
+// Migrate performs a planned zero-downtime PHY migration to the standby
+// (the live-upgrade path). It errors on baseline deployments.
+func (dep *Deployment) Migrate() error {
+	_, err := dep.d.PlannedMigration()
+	return err
+}
+
+// ActivePHYServer returns the server id currently serving the cell.
+func (dep *Deployment) ActivePHYServer() uint8 { return dep.d.ActivePHYServer() }
+
+// SendDownlink injects an application packet towards a UE. It reports
+// whether the UE had a bearer.
+func (dep *Deployment) SendDownlink(ue uint16, pkt []byte) bool {
+	return dep.d.SendDownlink(ue, pkt)
+}
+
+// SendUplink injects an application packet from a UE.
+func (dep *Deployment) SendUplink(ue uint16, pkt []byte) bool {
+	u, ok := dep.d.UEs[ue]
+	if !ok || !u.Connected() {
+		return false
+	}
+	u.SendUplink(pkt)
+	return true
+}
+
+// OnUplink registers the application-server-side sink for uplink packets.
+func (dep *Deployment) OnUplink(fn func(ue uint16, pkt []byte)) {
+	dep.d.OnUplink(fn)
+}
+
+// OnDownlink registers a UE-side sink for downlink packets.
+func (dep *Deployment) OnDownlink(ue uint16, fn func(pkt []byte)) error {
+	u, ok := dep.d.UEs[ue]
+	if !ok {
+		return fmt.Errorf("slingshot: unknown UE %d", ue)
+	}
+	u.OnDownlink = fn
+	return nil
+}
+
+// UEConnected reports whether a UE currently has a radio connection.
+func (dep *Deployment) UEConnected(ue uint16) bool {
+	u, ok := dep.d.UEs[ue]
+	return ok && u.Connected()
+}
+
+// Detections returns the virtual times at which the in-switch detector
+// declared a PHY failure.
+func (dep *Deployment) Detections() []time.Duration {
+	out := make([]time.Duration, len(dep.d.Switch.DetectionLog))
+	for i, t := range dep.d.Switch.DetectionLog {
+		out[i] = t.Duration()
+	}
+	return out
+}
+
+// Migrations returns how many fronthaul migrations the switch executed.
+func (dep *Deployment) Migrations() int { return len(dep.d.Switch.MigrationLog) }
+
+// Stop tears the deployment down (clocks, timers).
+func (dep *Deployment) Stop() { dep.d.Stop() }
+
+// Core exposes the underlying deployment for advanced instrumentation
+// (experiment harnesses, tests).
+func (dep *Deployment) Core() *core.Deployment { return dep.d }
+
+// Experiments lists the paper-reproduction experiment ids runnable via
+// RunExperiment (one per table/figure in §8 of the paper).
+func Experiments() []string { return experiments.List() }
+
+// RunExperiment regenerates one of the paper's tables/figures and returns
+// its textual report. scale in (0,1] shrinks long experiments (1 =
+// paper-scale durations).
+func RunExperiment(id string, scale float64) (string, error) {
+	r, err := experiments.Run(id, scale)
+	if err != nil {
+		return "", err
+	}
+	return r.String(), nil
+}

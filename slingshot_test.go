@@ -1,0 +1,125 @@
+package slingshot
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFacadeFailoverKeepsConnectivity(t *testing.T) {
+	d := New(DefaultOptions())
+	d.Start()
+	d.RunFor(100 * time.Millisecond)
+	if !d.UEConnected(1) || !d.UEConnected(2) || !d.UEConnected(3) {
+		t.Fatal("UEs not connected after bring-up")
+	}
+	before := d.ActivePHYServer()
+	d.KillActivePHY()
+	d.RunFor(200 * time.Millisecond)
+	defer d.Stop()
+	if d.ActivePHYServer() == before {
+		t.Fatal("failover did not move the PHY")
+	}
+	if len(d.Detections()) != 1 {
+		t.Fatalf("detections = %d", len(d.Detections()))
+	}
+	if d.Migrations() != 1 {
+		t.Fatalf("migrations = %d", d.Migrations())
+	}
+	for ue := uint16(1); ue <= 3; ue++ {
+		if !d.UEConnected(ue) {
+			t.Fatalf("UE %d disconnected across failover", ue)
+		}
+	}
+}
+
+func TestFacadeDataPath(t *testing.T) {
+	d := New(Options{Seed: 2, UEs: []UE{{ID: 1, Name: "dev", SNRdB: 26}}})
+	var up, down int
+	d.OnUplink(func(ue uint16, pkt []byte) { up++ })
+	if err := d.OnDownlink(1, func(pkt []byte) { down++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.OnDownlink(99, nil); err == nil {
+		t.Fatal("unknown UE accepted")
+	}
+	d.Start()
+	d.At(50*time.Millisecond, func() {
+		for i := 0; i < 10; i++ {
+			if !d.SendUplink(1, make([]byte, 200)) {
+				t.Error("SendUplink rejected")
+			}
+			if !d.SendDownlink(1, make([]byte, 200)) {
+				t.Error("SendDownlink rejected")
+			}
+		}
+	})
+	d.RunFor(300 * time.Millisecond)
+	defer d.Stop()
+	if up < 10 || down < 10 {
+		t.Fatalf("delivered up=%d down=%d of 10 each", up, down)
+	}
+	if d.Now() < 300*time.Millisecond {
+		t.Fatalf("Now = %v", d.Now())
+	}
+}
+
+func TestFacadeMigrate(t *testing.T) {
+	d := New(DefaultOptions())
+	d.Start()
+	d.RunFor(50 * time.Millisecond)
+	if err := d.Migrate(); err != nil {
+		t.Fatal(err)
+	}
+	d.RunFor(50 * time.Millisecond)
+	defer d.Stop()
+	if d.Migrations() != 1 {
+		t.Fatal("planned migration not executed")
+	}
+}
+
+func TestFacadeBaselineRejectsMigrate(t *testing.T) {
+	d := New(Options{Seed: 1, Baseline: true, UEs: []UE{{ID: 1, Name: "x", SNRdB: 25}}})
+	d.Start()
+	d.RunFor(10 * time.Millisecond)
+	defer d.Stop()
+	if err := d.Migrate(); err == nil {
+		t.Fatal("baseline accepted planned migration")
+	}
+}
+
+func TestFacadeDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		d := New(DefaultOptions())
+		d.Start()
+		d.At(100*time.Millisecond, d.KillActivePHY)
+		d.RunFor(300 * time.Millisecond)
+		defer d.Stop()
+		return d.Detections()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("detection counts differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic detection time: %v vs %v", a[i], b[i])
+		}
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	want := []string{"ablations", "extl2", "extmimo", "fig10a", "fig10b", "fig11", "fig12", "fig3",
+		"fig8", "fig9", "sec82", "sec85", "sec86", "table2"}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("experiments = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("experiments = %v, want %v", got, want)
+		}
+	}
+	if _, err := RunExperiment("nope", 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
