@@ -91,6 +91,17 @@ func BenchmarkFailover(b *testing.B) {
 	}
 }
 
+// BenchmarkChaosSoak measures one seeded chaos schedule (fault injection
+// plus the cross-layer invariant checker) end to end.
+func BenchmarkChaosSoak(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := Chaos(uint64(i+1), "light")
+		if err != nil {
+			b.Fatalf("invariant violation: %v\n%s", err, out)
+		}
+	}
+}
+
 // BenchmarkAblations regenerates the design-choice ablations (DESIGN.md §4).
 func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablations", 0.3) }
 

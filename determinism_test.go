@@ -1,0 +1,52 @@
+package slingshot
+
+// Seed-determinism property tests: the whole simulation — experiments and
+// chaos schedules alike — must be a pure function of its seed. Identical
+// seeds reproduce byte-identical reports (the property every "replay the
+// failing seed" workflow depends on); different seeds must diverge.
+
+import "testing"
+
+func TestFig8Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig8 is slow")
+	}
+	a, err := RunExperiment("fig8", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunExperiment("fig8", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("fig8 not deterministic:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+func TestChaosDeterministicAcrossRuns(t *testing.T) {
+	a, err := Chaos(5, "light")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, a)
+	}
+	b, err := Chaos(5, "light")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, b)
+	}
+	if a != b {
+		t.Fatalf("same chaos seed diverged:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	c, err := Chaos(6, "light")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, c)
+	}
+	if a == c {
+		t.Fatal("different chaos seeds produced byte-identical reports")
+	}
+}
+
+func TestChaosUnknownProfile(t *testing.T) {
+	if _, err := Chaos(1, "nope"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}

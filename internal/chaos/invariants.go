@@ -1,0 +1,376 @@
+// Cross-layer invariant checking: the Checker registers observer hooks on
+// core, l2 (via the L2-side Orion's SHM tap), phy and switchsim and
+// asserts the properties Slingshot's design promises to preserve across
+// arbitrary fault schedules (§5, §6, §8.2):
+//
+//  1. No TTI regression: the slot indications the L2 accepts are strictly
+//     monotone per cell.
+//  2. ≤3 dropped TTIs per failover, and none otherwise (§8.2).
+//  3. HARQ soft-buffer conservation: the PHY never chase-combines
+//     receptions of two different transport blocks into one buffer.
+//  4. RLC in-order delivery per bearer (sequence-stamped app packets).
+//  5. Switch migration takes effect only at the armed TTI boundary, and
+//     uplink steering always matches the current serving PHY.
+//  6. A UE never silently detaches while Slingshot is protecting it.
+package chaos
+
+import (
+	"fmt"
+
+	"slingshot/internal/core"
+	"slingshot/internal/fapi"
+	"slingshot/internal/fronthaul"
+	"slingshot/internal/orion"
+	"slingshot/internal/phy"
+	"slingshot/internal/sim"
+	"slingshot/internal/switchsim"
+	"slingshot/internal/ue"
+)
+
+// Violation is one observed invariant breach.
+type Violation struct {
+	Invariant string
+	At        sim.Time
+	Detail    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%.6fs %s: %s", float64(v.At)/float64(sim.Second), v.Invariant, v.Detail)
+}
+
+// failoverGapWindow is how long after a failover migration a slot gap of
+// up to maxFailoverGap TTIs is tolerated.
+const failoverGapWindow = 10 * sim.Millisecond
+
+// maxFailoverGap is the paper's §8.2 bound on dropped TTIs per failover.
+const maxFailoverGap = 3
+
+// maxRecorded bounds the retained violation list (Total keeps counting).
+const maxRecorded = 64
+
+type harqKey struct {
+	server uint8
+	cell   uint16
+	ue     uint16
+	proc   uint8
+}
+
+// Checker observes a running deployment through registered hooks and
+// records invariant violations.
+type Checker struct {
+	d   *core.Deployment
+	eng *sim.Engine
+
+	// Total counts all violations; the recorded list is capped.
+	Total      int
+	violations []Violation
+
+	lastSlotInd  map[uint16]uint64
+	lastFailover map[uint16]sim.Time
+	droppedTTIs  map[uint16]uint64
+
+	harqBuf map[harqKey]uint64
+
+	ruServing map[uint8]uint8
+
+	ulLast, dlLast   map[uint16]uint64
+	ulCount, dlCount map[uint16]uint64
+}
+
+// Attach wires a checker into a deployment's observer hooks. Call before
+// Start. Existing hooks are chained, not replaced.
+func Attach(d *core.Deployment) *Checker {
+	c := &Checker{
+		d:            d,
+		eng:          d.Engine,
+		lastSlotInd:  make(map[uint16]uint64),
+		lastFailover: make(map[uint16]sim.Time),
+		droppedTTIs:  make(map[uint16]uint64),
+		harqBuf:      make(map[harqKey]uint64),
+		ruServing:    make(map[uint8]uint8),
+		ulLast:       make(map[uint16]uint64),
+		dlLast:       make(map[uint16]uint64),
+		ulCount:      make(map[uint16]uint64),
+		dlCount:      make(map[uint16]uint64),
+	}
+
+	if d.Slingshot {
+		c.TapL2()
+
+		innerMig := d.L2Orion.OnMigration
+		d.L2Orion.OnMigration = func(ev orion.MigrationEvent) {
+			if ev.Failover {
+				c.lastFailover[ev.Cell] = c.eng.Now()
+			}
+			if innerMig != nil {
+				innerMig(ev)
+			}
+		}
+	}
+
+	for _, server := range sortedServers(d) {
+		p := d.PHYs[server]
+		srv := server
+		innerDec := p.OnULDecode
+		p.OnULDecode = func(cell, ueID uint16, harq uint8, newData bool, tbHash uint64, ok bool) {
+			c.onULDecode(srv, cell, ueID, harq, newData, tbHash, ok)
+			if innerDec != nil {
+				innerDec(cell, ueID, harq, newData, tbHash, ok)
+			}
+		}
+		innerDisc := p.OnSoftDiscard
+		p.OnSoftDiscard = func() {
+			c.onSoftDiscard(srv)
+			if innerDisc != nil {
+				innerDisc()
+			}
+		}
+	}
+
+	c.ruServing[uint8(d.Cfg.Cell)] = d.Cfg.PrimaryServer
+	for _, spec := range d.Cfg.ExtraCells {
+		c.ruServing[uint8(spec.Cell)] = spec.Primary
+	}
+	innerSwMig := d.Switch.OnMigration
+	d.Switch.OnMigration = func(rec switchsim.MigrationRecord) {
+		c.onSwitchMigration(rec)
+		if innerSwMig != nil {
+			innerSwMig(rec)
+		}
+	}
+	innerFwd := d.Switch.OnULForward
+	d.Switch.OnULForward = func(ru uint8, slot fronthaul.SlotID, phyID uint8) {
+		c.onULForward(ru, phyID)
+		if innerFwd != nil {
+			innerFwd(ru, slot, phyID)
+		}
+	}
+
+	for _, id := range sortedUEs(d) {
+		u := d.UEs[id]
+		uid := id
+		innerState := u.OnStateChange
+		u.OnStateChange = func(s ue.State) {
+			c.onUEState(uid, s)
+			if innerState != nil {
+				innerState(s)
+			}
+		}
+	}
+	return c
+}
+
+// TapL2 (re)wraps the L2-side Orion's SHM delivery tap. Must be re-invoked
+// after core.UpgradeL2 replaces the tap with the fresh L2's handler.
+func (c *Checker) TapL2() {
+	inner := c.d.L2Orion.ToL2
+	c.d.L2Orion.ToL2 = func(m fapi.Message) {
+		c.onL2Message(m)
+		if inner != nil {
+			inner(m)
+		}
+	}
+}
+
+func (c *Checker) violate(invariant string, format string, args ...any) {
+	c.Total++
+	if len(c.violations) < maxRecorded {
+		c.violations = append(c.violations, Violation{
+			Invariant: invariant,
+			At:        c.eng.Now(),
+			Detail:    fmt.Sprintf(format, args...),
+		})
+	}
+}
+
+// Violations returns the recorded breaches (capped at maxRecorded).
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// DroppedTTIs returns the total slot-indication gap observed for a cell.
+func (c *Checker) DroppedTTIs(cell uint16) uint64 { return c.droppedTTIs[cell] }
+
+// Delivered returns per-UE in-order packet counts (uplink, downlink).
+func (c *Checker) Delivered(ueID uint16) (ul, dl uint64) {
+	return c.ulCount[ueID], c.dlCount[ueID]
+}
+
+// onL2Message observes every FAPI message the L2-side Orion accepts for
+// delivery to the L2 (the post-filter view: the standby's responses are
+// already dropped).
+func (c *Checker) onL2Message(m fapi.Message) {
+	if ind, isSlot := m.(*fapi.SlotIndication); isSlot {
+		c.observeSlot(ind.CellID, ind.Slot)
+	}
+}
+
+// observeSlot enforces TTI monotonicity and the §8.2 dropped-TTI bound.
+func (c *Checker) observeSlot(cell uint16, slot uint64) {
+	last, seen := c.lastSlotInd[cell]
+	if seen {
+		if slot <= last {
+			c.violate("tti-regression", "cell %d slot %d after %d", cell, slot, last)
+			return
+		}
+		if gap := slot - last - 1; gap > 0 {
+			c.droppedTTIs[cell] += gap
+			lastFo, hadFo := c.lastFailover[cell]
+			inWindow := hadFo && c.eng.Now()-lastFo <= failoverGapWindow
+			if !inWindow {
+				c.violate("dropped-ttis", "cell %d lost %d TTIs (%d→%d) with no failover in flight",
+					cell, gap, last, slot)
+			} else if gap > maxFailoverGap {
+				c.violate("dropped-ttis", "cell %d lost %d TTIs (%d→%d) in failover, >%d (§8.2)",
+					cell, gap, last, slot, maxFailoverGap)
+			}
+		}
+	}
+	c.lastSlotInd[cell] = slot
+}
+
+// onULDecode enforces HARQ soft-buffer conservation on the PHY's uplink
+// chase combiner: a retransmission (NewData=false) landing in an active
+// buffer must carry the same transport block as the buffer holds.
+func (c *Checker) onULDecode(server uint8, cell, ueID uint16, proc uint8, newData bool, tbHash uint64, ok bool) {
+	key := harqKey{server: server, cell: cell, ue: ueID, proc: proc}
+	prev, active := c.harqBuf[key]
+	if !newData && active && prev != tbHash {
+		c.violate("harq-conservation",
+			"server %d cell %d ue %d harq %d combined different TBs (%#x vs %#x)",
+			server, cell, ueID, proc, prev, tbHash)
+	}
+	if ok {
+		delete(c.harqBuf, key) // decoded: buffer released
+	} else {
+		c.harqBuf[key] = tbHash
+	}
+}
+
+func (c *Checker) onSoftDiscard(server uint8) {
+	for key := range c.harqBuf {
+		if key.server == server {
+			delete(c.harqBuf, key)
+		}
+	}
+}
+
+// onSwitchMigration asserts the register flip happened at or after the
+// armed TTI boundary and updates the expected serving PHY.
+func (c *Checker) onSwitchMigration(rec switchsim.MigrationRecord) {
+	execAbs := resolveAbsSlot(rec.Slot.Index(), uint64(c.eng.Now()/phy.TTI))
+	if execAbs < rec.ReqAbsSlot {
+		c.violate("migration-boundary", "ru %d remapped at slot %d before boundary %d",
+			rec.RU, execAbs, rec.ReqAbsSlot)
+	}
+	c.ruServing[rec.RU] = rec.ToPHY
+}
+
+// onULForward asserts uplink steering matches the serving PHY implied by
+// the executed migrations.
+func (c *Checker) onULForward(ru uint8, phyID uint8) {
+	want, known := c.ruServing[ru]
+	if known && phyID != want {
+		c.violate("migration-boundary", "ru %d uplink steered to PHY %d, serving PHY is %d",
+			ru, phyID, want)
+	}
+}
+
+func (c *Checker) onUEState(ueID uint16, s ue.State) {
+	if c.d.Slingshot && s != ue.StateConnected {
+		c.violate("ue-detached", "ue %d left connected state (%v) under Slingshot", ueID, s)
+	}
+}
+
+// ObserveUplink checks in-order delivery of a sequence-stamped uplink
+// packet (invoked from the deployment's application-server sink).
+func (c *Checker) ObserveUplink(ueID uint16, pkt []byte) {
+	seq, ok := parseSeq(pkt, dirUp)
+	if !ok {
+		return
+	}
+	c.checkOrder("rlc-order-ul", c.ulLast, c.ulCount, ueID, seq)
+}
+
+// ObserveDownlink checks in-order delivery of a sequence-stamped downlink
+// packet at the UE.
+func (c *Checker) ObserveDownlink(ueID uint16, pkt []byte) {
+	seq, ok := parseSeq(pkt, dirDown)
+	if !ok {
+		return
+	}
+	c.checkOrder("rlc-order-dl", c.dlLast, c.dlCount, ueID, seq)
+}
+
+func (c *Checker) checkOrder(inv string, last, count map[uint16]uint64, ueID uint16, seq uint64) {
+	if prev, seen := last[ueID]; seen && seq <= prev {
+		c.violate(inv, "ue %d seq %d delivered after %d (duplicate or reorder)", ueID, seq, prev)
+		return
+	}
+	last[ueID] = seq
+	count[ueID]++
+}
+
+// Finish runs the end-of-schedule assertions: every UE still connected,
+// zero radio-link failures (Slingshot hides failovers from UEs entirely).
+func (c *Checker) Finish() {
+	if !c.d.Slingshot {
+		return
+	}
+	for _, id := range sortedUEs(c.d) {
+		u := c.d.UEs[id]
+		if !u.Connected() {
+			c.violate("ue-detached", "ue %d not connected at end of run", id)
+		}
+		if u.Stats.RLFs > 0 {
+			c.violate("ue-detached", "ue %d declared %d radio link failures", id, u.Stats.RLFs)
+		}
+	}
+}
+
+// resolveAbsSlot maps a wrapped fronthaul slot index to the absolute slot
+// closest to ref (the RU-side wrap resolution, fronthaul.SlotWrap period).
+func resolveAbsSlot(idx uint64, ref uint64) uint64 {
+	base := ref - ref%fronthaul.SlotWrap + idx
+	best, bestDist := base, dist(base, ref)
+	if base >= fronthaul.SlotWrap {
+		if d := dist(base-fronthaul.SlotWrap, ref); d < bestDist {
+			best, bestDist = base-fronthaul.SlotWrap, d
+		}
+	}
+	if d := dist(base+fronthaul.SlotWrap, ref); d < bestDist {
+		best = base + fronthaul.SlotWrap
+	}
+	return best
+}
+
+func dist(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func sortedServers(d *core.Deployment) []uint8 {
+	out := make([]uint8, 0, len(d.PHYs))
+	for s := range d.PHYs {
+		out = append(out, s)
+	}
+	sortSlice(out)
+	return out
+}
+
+func sortedUEs(d *core.Deployment) []uint16 {
+	out := make([]uint16, 0, len(d.UEs))
+	for id := range d.UEs {
+		out = append(out, id)
+	}
+	sortSlice(out)
+	return out
+}
+
+func sortSlice[T uint8 | uint16](s []T) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

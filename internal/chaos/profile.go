@@ -1,0 +1,171 @@
+package chaos
+
+import "slingshot/internal/sim"
+
+// Profile describes the shape of a randomized fault schedule: how long the
+// run lasts, how many faults of each family are drawn, and how intense the
+// fronthaul perturbation bursts are. The concrete fault times, targets and
+// per-packet decisions are drawn from the run's seed, so (seed, profile)
+// fully determines the schedule.
+type Profile struct {
+	Name string
+
+	// Horizon is the virtual duration of the run; Settle is the fault-free
+	// warmup before the first fault may fire (attach + link adaptation).
+	Horizon sim.Time
+	Settle  sim.Time
+
+	// Cells is the number of cells (1 = the paper's single-cell testbed;
+	// more co-locate primaries and secondaries across the two PHY servers).
+	Cells int
+
+	// Kills crashes the active PHY process (SIGKILL → in-switch detection
+	// → failover). StandbyKills crashes the current hot standby instead.
+	// A spare server is provisioned automatically when any kill is drawn.
+	Kills        int
+	StandbyKills int
+
+	// Migrations draws planned zero-downtime migrations (migration storm).
+	Migrations int
+
+	// L2Upgrades replaces the L2 process mid-flow with state preserved.
+	L2Upgrades int
+
+	// RUGlitches stops an RU's slot clock for GlitchSlots slots.
+	RUGlitches  int
+	GlitchSlots int
+
+	// Fronthaul perturbation bursts, each lasting BurstLen: random loss,
+	// IQ corruption, reordering, and added link latency.
+	LossBursts    int
+	LossProb      float64
+	CorruptBursts int
+	CorruptProb   float64
+	ReorderBursts int
+	ReorderProb   float64
+	LatencySpikes int
+	SpikeExtra    sim.Time
+	BurstLen      sim.Time
+
+	// Background traffic: every TrafficPeriod each UE sends one uplink and
+	// receives one downlink packet of PacketBytes, sequence-stamped so the
+	// invariant checker can assert per-bearer in-order delivery.
+	TrafficPeriod sim.Time
+	PacketBytes   int
+}
+
+// Light is a short schedule without process kills: fronthaul perturbation
+// and planned migrations only.
+func Light() Profile {
+	return Profile{
+		Name:    "light",
+		Horizon: 800 * sim.Millisecond,
+		Settle:  120 * sim.Millisecond,
+		Cells:   1,
+
+		Migrations: 2,
+		RUGlitches: 1, GlitchSlots: 3,
+		LossBursts: 1, LossProb: 0.2,
+		CorruptBursts: 1, CorruptProb: 0.2,
+		LatencySpikes: 1, SpikeExtra: 120 * sim.Microsecond,
+		BurstLen: 2 * sim.Millisecond,
+
+		TrafficPeriod: 2 * sim.Millisecond,
+		PacketBytes:   400,
+	}
+}
+
+// Default is the standard soak schedule: one failover plus migrations, an
+// L2 upgrade, an RU glitch and all four fronthaul perturbation families.
+func Default() Profile {
+	return Profile{
+		Name:    "default",
+		Horizon: 1500 * sim.Millisecond,
+		Settle:  150 * sim.Millisecond,
+		Cells:   1,
+
+		Kills:      1,
+		Migrations: 3,
+		L2Upgrades: 1,
+		RUGlitches: 1, GlitchSlots: 4,
+		LossBursts: 2, LossProb: 0.25,
+		CorruptBursts: 2, CorruptProb: 0.25,
+		ReorderBursts: 1, ReorderProb: 0.2,
+		LatencySpikes: 2, SpikeExtra: 150 * sim.Microsecond,
+		BurstLen: 3 * sim.Millisecond,
+
+		TrafficPeriod: 2 * sim.Millisecond,
+		PacketBytes:   400,
+	}
+}
+
+// Heavy is a two-cell schedule with co-located primaries/secondaries, an
+// active kill and a standby kill, and a denser migration storm.
+func Heavy() Profile {
+	return Profile{
+		Name:    "heavy",
+		Horizon: 2500 * sim.Millisecond,
+		Settle:  200 * sim.Millisecond,
+		Cells:   2,
+
+		Kills:        1,
+		StandbyKills: 1,
+		Migrations:   6,
+		L2Upgrades:   2,
+		RUGlitches:   2, GlitchSlots: 4,
+		LossBursts: 3, LossProb: 0.25,
+		CorruptBursts: 3, CorruptProb: 0.25,
+		ReorderBursts: 2, ReorderProb: 0.2,
+		LatencySpikes: 3, SpikeExtra: 150 * sim.Microsecond,
+		BurstLen: 3 * sim.Millisecond,
+
+		TrafficPeriod: 2 * sim.Millisecond,
+		PacketBytes:   400,
+	}
+}
+
+// ByName resolves a profile name ("light", "default", "heavy"); it reports
+// false for unknown names.
+func ByName(name string) (Profile, bool) {
+	switch name {
+	case "light":
+		return Light(), true
+	case "default", "":
+		return Default(), true
+	case "heavy":
+		return Heavy(), true
+	}
+	return Profile{}, false
+}
+
+// Scale shrinks the schedule horizon (and fault counts proportionally) for
+// quick smoke runs; s in (0,1]. Scaling up is clamped to the original.
+func (p Profile) Scale(s float64) Profile {
+	if s >= 1 || s <= 0 {
+		return p
+	}
+	scaleN := func(n int) int {
+		if n == 0 {
+			return 0
+		}
+		m := int(float64(n) * s)
+		if m < 1 {
+			m = 1
+		}
+		return m
+	}
+	p.Horizon = sim.Time(float64(p.Horizon) * s)
+	if p.Horizon < p.Settle+200*sim.Millisecond {
+		p.Horizon = p.Settle + 200*sim.Millisecond
+	}
+	p.Kills = scaleN(p.Kills)
+	p.StandbyKills = scaleN(p.StandbyKills)
+	p.Migrations = scaleN(p.Migrations)
+	p.L2Upgrades = scaleN(p.L2Upgrades)
+	p.RUGlitches = scaleN(p.RUGlitches)
+	p.LossBursts = scaleN(p.LossBursts)
+	p.CorruptBursts = scaleN(p.CorruptBursts)
+	p.ReorderBursts = scaleN(p.ReorderBursts)
+	p.LatencySpikes = scaleN(p.LatencySpikes)
+	return p
+}

@@ -1,0 +1,14 @@
+package chaos
+
+// Soak runs seeds 1..n in ascending order and returns the report of the
+// first failing seed — ascending order makes it the minimal one, which is
+// what a developer wants to replay. ok is true when every seed passed.
+func Soak(n int, run func(seed uint64) *Report) (failing *Report, ok bool) {
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		rep := run(seed)
+		if rep.TotalViolations > 0 {
+			return rep, false
+		}
+	}
+	return nil, true
+}

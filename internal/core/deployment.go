@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"slingshot/internal/l2"
 	"slingshot/internal/netmodel"
@@ -121,6 +122,10 @@ type Deployment struct {
 	RU  *ru.RU
 	RUs map[uint16]*ru.RU
 	UEs map[uint16]*ue.UE
+	// Links records each endpoint's uplink (endpoint→switch) cable by the
+	// endpoint's address; the switch-side egress cable is reachable via
+	// Switch.Port. Fault-injection harnesses perturb both.
+	Links map[netmodel.Addr]*netmodel.Link
 	// cellSeeds remembers each cell's scrambling seed for Start.
 	cellSeeds map[uint16]uint64
 
@@ -143,6 +148,7 @@ func (d *Deployment) endpointLink(addr netmodel.Addr, rx netmodel.Receiver) *net
 	toSwitch := netmodel.NewLink(d.Engine, d.Switch, d.Cfg.LinkBandwidth, d.Cfg.LinkLatency)
 	fromSwitch := netmodel.NewLink(d.Engine, rx, d.Cfg.LinkBandwidth, d.Cfg.LinkLatency)
 	d.Switch.Connect(addr, fromSwitch)
+	d.Links[addr] = toSwitch
 	return toSwitch
 }
 
@@ -220,6 +226,7 @@ func newCommon(cfg Config) *Deployment {
 		Orions:    make(map[uint8]*orion.Orion),
 		RUs:       make(map[uint16]*ru.RU),
 		UEs:       make(map[uint16]*ue.UE),
+		Links:     make(map[netmodel.Addr]*netmodel.Link),
 		cellSeeds: make(map[uint16]uint64),
 	}
 	return d
@@ -290,26 +297,56 @@ func (d *Deployment) wireCell(cellID uint16, seed uint64, ues []UESpec) *ru.RU {
 // Start brings the deployment up: configures every cell, starts every
 // slot clock, and attaches the UEs.
 func (d *Deployment) Start() {
-	for _, p := range d.PHYs {
-		p.Start()
+	// Bring components up in sorted id order: map order would randomize
+	// the event-queue tie-break sequence and break seed determinism.
+	for _, server := range d.phyOrder() {
+		d.PHYs[server].Start()
 	}
-	for cellID, seed := range d.cellSeeds {
-		d.L2.AddCell(cellID, seed, d.Cfg.MantissaBits)
+	for _, cellID := range d.cellOrder() {
+		d.L2.AddCell(cellID, d.cellSeeds[cellID], d.Cfg.MantissaBits)
 		if d.backupL2 != nil {
-			d.backupL2.AddCell(cellID, seed, d.Cfg.MantissaBits)
+			d.backupL2.AddCell(cellID, d.cellSeeds[cellID], d.Cfg.MantissaBits)
 		}
 	}
 	d.L2.Start()
 	if d.backupL2 != nil {
 		d.backupL2.Start()
 	}
-	for _, r := range d.RUs {
-		r.Start()
+	for _, cellID := range d.cellOrder() {
+		d.RUs[cellID].Start()
 	}
-	for _, u := range d.UEs {
+	for _, id := range d.ueOrder() {
+		u := d.UEs[id]
 		u.Attach()
 		d.activeL2.AttachUE(u.Cfg.Cell, u.Cfg.ID)
 	}
+}
+
+func (d *Deployment) phyOrder() []uint8 {
+	out := make([]uint8, 0, len(d.PHYs))
+	for s := range d.PHYs {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (d *Deployment) cellOrder() []uint16 {
+	out := make([]uint16, 0, len(d.cellSeeds))
+	for c := range d.cellSeeds {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (d *Deployment) ueOrder() []uint16 {
+	out := make([]uint16, 0, len(d.UEs))
+	for id := range d.UEs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Run advances the simulation to the given time.
@@ -455,14 +492,14 @@ func (d *Deployment) Stop() {
 	if d.backupL2 != nil {
 		d.backupL2.Stop()
 	}
-	for _, r := range d.RUs {
-		r.Stop()
+	for _, cellID := range d.cellOrder() {
+		d.RUs[cellID].Stop()
 	}
-	for _, u := range d.UEs {
-		u.Stop()
+	for _, id := range d.ueOrder() {
+		d.UEs[id].Stop()
 	}
-	for _, p := range d.PHYs {
-		if !p.Crashed() {
+	for _, server := range d.phyOrder() {
+		if p := d.PHYs[server]; !p.Crashed() {
 			p.Kill()
 		}
 	}

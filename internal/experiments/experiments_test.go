@@ -6,8 +6,8 @@ import (
 )
 
 func TestRegistryListsAll(t *testing.T) {
-	want := []string{"ablations", "extl2", "extmimo", "fig10a", "fig10b", "fig11", "fig12", "fig3",
-		"fig8", "fig9", "sec82", "sec85", "sec86", "table2"}
+	want := []string{"ablations", "chaos", "extl2", "extmimo", "fig10a", "fig10b", "fig11", "fig12",
+		"fig3", "fig8", "fig9", "sec82", "sec85", "sec86", "table2"}
 	got := List()
 	if len(got) != len(want) {
 		t.Fatalf("List = %v", got)
@@ -137,6 +137,22 @@ func TestSec86Shape(t *testing.T) {
 		if !strings.Contains(r.Output, res) {
 			t.Fatalf("resource table missing %s:\n%s", res, r.Output)
 		}
+	}
+}
+
+func TestChaosShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is slow")
+	}
+	r, err := Run("chaos", 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Output, "fingerprint") {
+		t.Fatalf("chaos output:\n%s", r.Output)
+	}
+	if !strings.Contains(r.Summary, "upheld every invariant") {
+		t.Fatalf("chaos found violations: %s\n%s", r.Summary, r.Output)
 	}
 }
 

@@ -7,6 +7,8 @@
 package l2
 
 import (
+	"sort"
+
 	"slingshot/internal/dsp"
 	"slingshot/internal/fapi"
 	"slingshot/internal/phy"
@@ -131,6 +133,7 @@ type L2 struct {
 	Trace func(format string, args ...any)
 
 	cells     map[uint16]*cellCtx
+	cellOrder []uint16 // sorted ids: deterministic scheduling order
 	stopClock func()
 }
 
@@ -154,6 +157,9 @@ func New(e *sim.Engine, cfg Config) *L2 {
 // AddCell onboards an RU: sends the CONFIG/START requests that Orion
 // intercepts and duplicates to the primary and secondary PHYs.
 func (l *L2) AddCell(cell uint16, seed uint64, mantissa uint8) {
+	if _, dup := l.cells[cell]; !dup {
+		l.cellOrder = insertSorted(l.cellOrder, cell)
+	}
 	l.cells[cell] = &cellCtx{id: cell, seed: seed, ues: make(map[uint16]*ueCtx)}
 	l.fapiOut(&fapi.ConfigRequest{
 		CellID: cell, NumPRB: dsp.MaxPRB, MantissaBits: mantissa, Seed: seed,
@@ -255,7 +261,10 @@ func (l *L2) fapiOut(m fapi.Message) {
 func (l *L2) onSlot() {
 	now := phy.SlotAt(l.Engine.Now())
 	target := now + l.Cfg.ScheduleLead
-	for _, c := range l.cells {
+	// Sorted cell order keeps the FAPI emission sequence (and therefore the
+	// whole event schedule) deterministic for a given seed.
+	for _, id := range l.cellOrder {
+		c := l.cells[id]
 		l.Stats.SlotsDriven++
 		l.expireFeedback(c, now)
 		l.scheduleSlot(c, target)
@@ -589,6 +598,15 @@ func (l *L2) handleUCI(c *cellCtx, msg *fapi.UCIIndication) {
 	}
 }
 
+// insertSorted adds id to a sorted id slice, keeping it sorted.
+func insertSorted(ids []uint16, id uint16) []uint16 {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
+}
+
 // expireFeedback frees HARQ processes whose feedback never arrived.
 func (l *L2) expireFeedback(c *cellCtx, now uint64) {
 	for _, u := range c.ues {
@@ -626,7 +644,8 @@ func (l *L2) expireFeedback(c *cellCtx, now uint64) {
 // superviseRLC skips stuck uplink reassembly gaps.
 func (l *L2) superviseRLC(c *cellCtx) {
 	now := l.Engine.Now()
-	for _, u := range c.ues {
+	for _, id := range c.ueOrder {
+		u := c.ues[id]
 		if !u.ulRx.HasGap() {
 			u.ulGapSince = 0
 			continue

@@ -69,7 +69,9 @@ func (l *L2) ExportState() *State {
 // plumbing (SendFAPI towards the same Orion) before Start.
 func (l *L2) ImportState(s *State) {
 	l.cells = make(map[uint16]*cellCtx, len(s.cells))
+	l.cellOrder = nil
 	for id, c := range s.cells {
 		l.cells[id] = c
+		l.cellOrder = insertSorted(l.cellOrder, id)
 	}
 }

@@ -14,6 +14,8 @@
 package orion
 
 import (
+	"sort"
+
 	"slingshot/internal/fapi"
 	"slingshot/internal/fronthaul"
 	"slingshot/internal/netmodel"
@@ -516,10 +518,12 @@ func (o *Orion) migrate(cell uint16, failover bool) uint64 {
 }
 
 // handleFailure reacts to an in-switch failure notification: migrate every
-// cell whose active PHY ran on the failed server.
+// cell whose active PHY ran on the failed server. Cells are visited in id
+// order so multi-cell failovers replay identically for a given seed.
 func (o *Orion) handleFailure(phyServer uint8) {
 	o.failedServers[phyServer] = true
-	for _, c := range o.cells {
+	for _, id := range o.Cells() {
+		c := o.cells[id]
 		if o.activeServer(c) == phyServer {
 			o.migrate(c.id, true)
 		}
@@ -564,11 +568,12 @@ func (o *Orion) ReplaceStandby(cell uint16, server uint8) {
 	}
 }
 
-// Cells returns the ids of registered cells.
+// Cells returns the ids of registered cells in sorted order.
 func (o *Orion) Cells() []uint16 {
 	out := make([]uint16, 0, len(o.cells))
 	for id := range o.cells {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

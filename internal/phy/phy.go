@@ -3,6 +3,7 @@ package phy
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"slingshot/internal/fapi"
 	"slingshot/internal/fronthaul"
@@ -96,11 +97,20 @@ type PHY struct {
 	SendFronthaul func(*netmodel.Frame)
 	// OnCrash, if set, observes the crash reason.
 	OnCrash func(reason string)
+	// OnULDecode observes every uplink decode attempt: which HARQ process
+	// the block was combined into, whether the grant announced new data,
+	// a hash of the transport block the packet claims to carry, and the
+	// CRC outcome. Cross-layer invariant checkers use it to assert HARQ
+	// soft-buffer conservation (no chase-combining across different TBs).
+	OnULDecode func(cell, ue uint16, harq uint8, newData bool, tbHash uint64, ok bool)
+	// OnSoftDiscard observes DiscardSoftState (migration landing).
+	OnSoftDiscard func()
 
 	Stats Stats
 
 	rng       *sim.RNG
 	cells     map[uint16]*cell
+	cellOrder []uint16 // sorted ids: deterministic slot-processing order
 	crashed   bool
 	stopClock func()
 }
@@ -237,6 +247,12 @@ func (p *PHY) configure(req *fapi.ConfigRequest) {
 		ulResults: make(map[uint64][]ulResult),
 		ulSeen:    make(map[uint64]map[uint16]bool),
 	}
+	if _, existed := p.cells[req.CellID]; !existed {
+		i := sort.Search(len(p.cellOrder), func(i int) bool { return p.cellOrder[i] >= req.CellID })
+		p.cellOrder = append(p.cellOrder, 0)
+		copy(p.cellOrder[i+1:], p.cellOrder[i:])
+		p.cellOrder[i] = req.CellID
+	}
 	p.cells[req.CellID] = c
 	p.fapiOut(&fapi.ConfigResponse{CellID: req.CellID, OK: true})
 }
@@ -283,7 +299,10 @@ func (p *PHY) onSlot() {
 		return
 	}
 	slot := SlotAt(p.Engine.Now())
-	for _, c := range p.cells {
+	// Iterate in sorted cell order: map order would make the event schedule
+	// (and thus the whole run) nondeterministic across processes.
+	for _, id := range p.cellOrder {
+		c := p.cells[id]
 		if !c.started {
 			continue
 		}
@@ -504,6 +523,9 @@ func (p *PHY) receiveUL(c *cell, pkt *fronthaul.Packet) {
 		p.applyMIMOError(c, ue, iq)
 		outcome = c.codec.DecodeBlock(iq, slot, ue, pdu.Alloc.Mod,
 			c.pool, pdu.HARQID, pdu.NewData, c.iters)
+		if p.OnULDecode != nil {
+			p.OnULDecode(c.id, ue, pdu.HARQID, pdu.NewData, hashTB(pkt.Aux), outcome.OK)
+		}
 	}
 	p.Stats.WorkUnits += uint64(outcome.WorkUnits)
 
@@ -623,7 +645,21 @@ func (p *PHY) DiscardSoftState() int {
 		}
 		c.mimoTrain = make(map[uint16]int)
 	}
+	if p.OnSoftDiscard != nil {
+		p.OnSoftDiscard()
+	}
 	return interrupted
+}
+
+// hashTB is FNV-1a over the transport-block sidecar, identifying which TB
+// a reception claims to carry (for the HARQ-conservation observer).
+func hashTB(tb []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, b := range tb {
+		h ^= uint64(b)
+		h *= 0x100000001b3
+	}
+	return h
 }
 
 // ActiveHARQ returns the number of in-flight (un-acked) uplink HARQ

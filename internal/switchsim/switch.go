@@ -44,6 +44,9 @@ type MigrationRecord struct {
 	At       sim.Time
 	Slot     fronthaul.SlotID
 	ArmDelay sim.Time // time between command arrival and execution
+	// ReqAbsSlot is the absolute boundary slot the migrate_on_slot command
+	// requested: execution must be at or after this TTI boundary.
+	ReqAbsSlot uint64
 }
 
 // Stats counts dataplane activity.
@@ -89,6 +92,13 @@ type Switch struct {
 	MigrationLog []MigrationRecord
 	DetectionLog []sim.Time
 
+	// OnMigration, if set, observes each executed migration as it happens.
+	OnMigration func(MigrationRecord)
+	// OnULForward, if set, observes every forwarded uplink fronthaul packet
+	// after the RU-to-PHY mapping was resolved (invariant checkers use it
+	// to assert migrations take effect exactly at TTI boundaries).
+	OnULForward func(ru uint8, slot fronthaul.SlotID, phy uint8)
+
 	// Inter-packet gap observation per PHY (the §8.6 measurement that
 	// justifies the 450 µs timeout).
 	dlLastSeen [MaxIDs]sim.Time
@@ -132,6 +142,12 @@ func New(e *sim.Engine, rng *sim.RNG) *Switch {
 // Connect registers the egress link toward an endpoint address.
 func (s *Switch) Connect(addr netmodel.Addr, link *netmodel.Link) {
 	s.ports[addr] = link
+}
+
+// Port returns the egress link toward an endpoint address (nil if none).
+// Fault-injection harnesses use it to perturb a specific cable.
+func (s *Switch) Port(addr netmodel.Addr) *netmodel.Link {
+	return s.ports[addr]
 }
 
 // InstallRU populates the ID and address directories for an RU. Installation
@@ -274,6 +290,9 @@ func (s *Switch) handleUplink(f *netmodel.Frame, slot fronthaul.SlotID) {
 	// Rewrite the virtual PHY address to the physical one.
 	f.Dst = dst
 	s.Stats.UplinkForwarded++
+	if s.OnULForward != nil {
+		s.OnULForward(ru, slot, phy)
+	}
 	s.forward(dst, f)
 }
 
@@ -331,11 +350,16 @@ func (s *Switch) maybeMigrate(ru uint8, slot fronthaul.SlotID) {
 	s.ruToPHY[ru] = req.phy
 	req.armed = false
 	s.Stats.MigrationsExecuted++
-	s.MigrationLog = append(s.MigrationLog, MigrationRecord{
+	rec := MigrationRecord{
 		RU: ru, FromPHY: from, ToPHY: req.phy,
 		At: s.Engine.Now(), Slot: slot,
-		ArmDelay: s.Engine.Now() - req.armedAt,
-	})
+		ArmDelay:   s.Engine.Now() - req.armedAt,
+		ReqAbsSlot: req.absSlot,
+	}
+	s.MigrationLog = append(s.MigrationLog, rec)
+	if s.OnMigration != nil {
+		s.OnMigration(rec)
+	}
 }
 
 func (s *Switch) handleControl(f *netmodel.Frame) {

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Full local gate: vet, build, tests under the race detector, the chaos
+# soak, and a short fuzz smoke over each binary codec package.
+# Usage: scripts/check.sh [fuzz-seconds-per-target]
+set -eu
+
+cd "$(dirname "$0")/.."
+FUZZTIME="${1:-10}s"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== chaos soak (25 seeds) =="
+go test ./internal/chaos -run TestChaosSoak -chaos.seeds 25
+
+echo "== fuzz smoke (${FUZZTIME}/target) =="
+for target in \
+    internal/fronthaul:FuzzDecodePacket \
+    internal/fronthaul:FuzzDecodeSections \
+    internal/fronthaul:FuzzDecompressBFP \
+    internal/fronthaul:FuzzCompressBFP \
+    internal/fapi:FuzzDecodeFAPI \
+    internal/phy:FuzzCodecRoundTrip \
+    internal/phy:FuzzDecodeBlockGarbage
+do
+    pkg="${target%%:*}"
+    fn="${target##*:}"
+    echo "-- $pkg $fn"
+    go test "./$pkg" -run "^$fn\$" -fuzz "^$fn\$" -fuzztime "$FUZZTIME"
+done
+
+echo "ALL CHECKS PASSED"

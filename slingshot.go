@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"time"
 
+	"slingshot/internal/chaos"
 	"slingshot/internal/core"
 	"slingshot/internal/experiments"
 	"slingshot/internal/sim"
@@ -191,6 +192,23 @@ func (dep *Deployment) Core() *core.Deployment { return dep.d }
 // Experiments lists the paper-reproduction experiment ids runnable via
 // RunExperiment (one per table/figure in §8 of the paper).
 func Experiments() []string { return experiments.List() }
+
+// Chaos runs one deterministic fault-injection schedule against a fresh
+// Slingshot deployment: the seed fully determines the fault times,
+// targets and packet-level perturbations, and a cross-layer invariant
+// checker (TTI monotonicity, the §8.2 dropped-TTI bound, HARQ soft-buffer
+// conservation, RLC ordering, boundary-only switch migration, UE
+// continuity) watches the run. profile is "light", "default"/"" or
+// "heavy". The report text is returned even on violation; the error is
+// non-nil when any invariant broke or the profile is unknown.
+func Chaos(seed uint64, profile string) (string, error) {
+	p, ok := chaos.ByName(profile)
+	if !ok {
+		return "", fmt.Errorf("slingshot: unknown chaos profile %q (have light, default, heavy)", profile)
+	}
+	rep := chaos.Run(seed, p)
+	return rep.String(), rep.Err()
+}
 
 // RunExperiment regenerates one of the paper's tables/figures and returns
 // its textual report. scale in (0,1] shrinks long experiments (1 =
