@@ -21,8 +21,11 @@ soak:
 fuzz:
 	scripts/check.sh $(FUZZTIME)
 
+# Benchmark regression harness: runs every benchmark (-count 5, -benchmem)
+# and writes BENCH_<date>.json next to the committed baseline. Compare the
+# new file against the baseline before merging perf-sensitive changes.
 bench:
-	$(GO) test -bench=. -benchmem -run '^$$'
+	scripts/bench.sh
 
 # The full local gate: vet + build + race tests + chaos soak + a short
 # fuzz smoke per codec package.

@@ -5,7 +5,11 @@ package slingshot
 // seeds reproduce byte-identical reports (the property every "replay the
 // failing seed" workflow depends on); different seeds must diverge.
 
-import "testing"
+import (
+	"testing"
+
+	"slingshot/internal/par"
+)
 
 func TestFig8Deterministic(t *testing.T) {
 	if testing.Short() {
@@ -48,5 +52,39 @@ func TestChaosDeterministicAcrossRuns(t *testing.T) {
 func TestChaosUnknownProfile(t *testing.T) {
 	if _, err := Chaos(1, "nope"); err == nil {
 		t.Fatal("unknown profile accepted")
+	}
+}
+
+// TestReportsInvariantToWorkerCount pins the parallel pipeline's central
+// property: the worker pool only changes wall-clock time, never results.
+// Every report must be byte-identical between the strictly sequential
+// schedule (workers=1, the SLINGSHOT_WORKERS=1 escape hatch) and a
+// multi-worker pool, regardless of how the OS schedules the workers.
+func TestReportsInvariantToWorkerCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: full experiment runs at two worker counts")
+	}
+	cases := []struct {
+		name string
+		run  func() (string, error)
+	}{
+		{"fig8", func() (string, error) { return RunExperiment("fig8", 0.5) }},
+		{"chaos", func() (string, error) { return Chaos(5, "light") }},
+		{"sec82", func() (string, error) { return RunExperiment("sec82", 0.5) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prev := par.SetWorkers(1)
+			defer par.SetWorkers(prev)
+			seq, seqErr := tc.run()
+			par.SetWorkers(4)
+			parOut, parErr := tc.run()
+			if (seqErr == nil) != (parErr == nil) {
+				t.Fatalf("error mismatch: workers=1 %v, workers=4 %v", seqErr, parErr)
+			}
+			if seq != parOut {
+				t.Fatalf("report differs between workers=1 and workers=4:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", seq, parOut)
+			}
+		})
 	}
 }

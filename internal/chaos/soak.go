@@ -1,11 +1,21 @@
 package chaos
 
-// Soak runs seeds 1..n in ascending order and returns the report of the
-// first failing seed — ascending order makes it the minimal one, which is
-// what a developer wants to replay. ok is true when every seed passed.
+import "slingshot/internal/par"
+
+// Soak runs seeds 1..n and returns the report of the first failing seed —
+// reporting in ascending order makes it the minimal one, which is what a
+// developer wants to replay. ok is true when every seed passed.
+//
+// The seeds are independent simulations (each run builds its own engine
+// and RNG tree), so they shard across the internal/par worker pool; the
+// reports are then scanned in ascending seed order, making the outcome
+// identical to the sequential loop. With SLINGSHOT_WORKERS=1 the runs
+// execute inline in ascending order, exactly like the sequential code.
 func Soak(n int, run func(seed uint64) *Report) (failing *Report, ok bool) {
-	for seed := uint64(1); seed <= uint64(n); seed++ {
-		rep := run(seed)
+	reports := par.Map(n, func(i int) *Report {
+		return run(uint64(i) + 1)
+	})
+	for _, rep := range reports {
 		if rep.TotalViolations > 0 {
 			return rep, false
 		}

@@ -116,10 +116,19 @@ func Equalize(symbols []complex128, h complex128) []complex128 {
 // Pilots returns n known QPSK pilot symbols derived from seed; transmitter
 // and receiver derive the same sequence independently.
 func Pilots(n int, seed uint64) []complex128 {
+	return PilotsInto(nil, n, seed)
+}
+
+// PilotsInto is Pilots writing into dst (grown as needed), so per-block
+// hot paths can reuse one pilot buffer instead of allocating per call.
+func PilotsInto(dst []complex128, n int, seed uint64) []complex128 {
 	rng := sim.NewRNG(seed | 1)
-	out := make([]complex128, n)
+	if cap(dst) < n {
+		dst = make([]complex128, n)
+	}
+	dst = dst[:n]
 	inv := 1 / math.Sqrt2
-	for i := range out {
+	for i := range dst {
 		bits := rng.Uint64()
 		re, im := inv, inv
 		if bits&1 != 0 {
@@ -128,9 +137,9 @@ func Pilots(n int, seed uint64) []complex128 {
 		if bits&2 != 0 {
 			im = -inv
 		}
-		out[i] = complex(re, im)
+		dst[i] = complex(re, im)
 	}
-	return out
+	return dst
 }
 
 // SNRFromNoiseVar converts a unit-signal-power noise variance to dB SNR.

@@ -74,6 +74,21 @@ func normFactor(bitsPerAxis int) float64 {
 	return math.Sqrt(2 * float64(n*n-1) / 3)
 }
 
+// pamTables caches the four constellation tables (half ∈ 1..4) so the
+// modulate/demodulate hot paths never rebuild or allocate them. Built once
+// at init, read-only afterwards — safe from worker goroutines.
+var pamTables [5]struct {
+	levels []float64
+	scale  float64 // 1/normFactor
+}
+
+func init() {
+	for half := 1; half <= 4; half++ {
+		pamTables[half].levels = pamLevels(half)
+		pamTables[half].scale = 1 / normFactor(half)
+	}
+}
+
 // Modulate maps bits (one bit per byte, 0/1, MSB-first per symbol) onto
 // unit-average-power QAM symbols. len(bits) must be a multiple of
 // m.BitsPerSymbol().
@@ -83,8 +98,8 @@ func Modulate(bits []byte, m Modulation) []complex128 {
 		panic(fmt.Sprintf("dsp: %d bits not a multiple of %d", len(bits), bps))
 	}
 	half := bps / 2
-	levels := pamLevels(half)
-	scale := 1 / normFactor(half)
+	levels := pamTables[half].levels
+	scale := pamTables[half].scale
 	out := make([]complex128, len(bits)/bps)
 	for s := range out {
 		var iBits, qBits int
@@ -101,44 +116,53 @@ func Modulate(bits []byte, m Modulation) []complex128 {
 // symbols using the exact max-log metric over each PAM axis. noiseVar is
 // the complex noise variance per symbol (total, both axes).
 func Demodulate(symbols []complex128, m Modulation, noiseVar float64) []float64 {
+	return DemodulateInto(nil, symbols, m, noiseVar)
+}
+
+// DemodulateInto is Demodulate writing into dst (grown as needed), so hot
+// paths can reuse one LLR buffer per block instead of allocating per call.
+// It returns dst resized to len(symbols)*BitsPerSymbol.
+func DemodulateInto(dst []float64, symbols []complex128, m Modulation, noiseVar float64) []float64 {
 	bps := m.BitsPerSymbol()
 	half := bps / 2
-	levels := pamLevels(half)
-	scale := 1 / normFactor(half)
+	levels := pamTables[half].levels
+	scale := pamTables[half].scale
 	if noiseVar <= 0 {
 		noiseVar = 1e-9
 	}
 	// Per-axis noise variance.
 	sigma2 := noiseVar / 2
 
-	llr := make([]float64, len(symbols)*bps)
-	axisLLR := func(y float64, out []float64) {
-		// For each bit position, max-log LLR =
-		// (min_{x: bit=1} (y-x)^2 - min_{x: bit=0} (y-x)^2) / (2 sigma2).
-		for b := 0; b < half; b++ {
-			min0, min1 := math.Inf(1), math.Inf(1)
-			for pattern, lv := range levels {
-				d := y - lv*scale
-				d2 := d * d
-				if pattern&(1<<(half-1-b)) == 0 {
-					if d2 < min0 {
-						min0 = d2
-					}
-				} else if d2 < min1 {
-					min1 = d2
-				}
-			}
-			out[b] = (min1 - min0) / (2 * sigma2)
-		}
+	need := len(symbols) * bps
+	if cap(dst) < need {
+		dst = make([]float64, need)
 	}
-	scratch := make([]float64, half)
+	dst = dst[:need]
 	for s, sym := range symbols {
-		axisLLR(real(sym), scratch)
-		copy(llr[s*bps:], scratch)
-		axisLLR(imag(sym), scratch)
-		copy(llr[s*bps+half:], scratch)
+		axisLLR(real(sym), levels, scale, sigma2, half, dst[s*bps:])
+		axisLLR(imag(sym), levels, scale, sigma2, half, dst[s*bps+half:])
 	}
-	return llr
+	return dst
+}
+
+// axisLLR fills out[:half] with the max-log LLRs of one PAM axis:
+// (min_{x: bit=1} (y-x)^2 - min_{x: bit=0} (y-x)^2) / (2 sigma2).
+func axisLLR(y float64, levels []float64, scale, sigma2 float64, half int, out []float64) {
+	for b := 0; b < half; b++ {
+		min0, min1 := math.Inf(1), math.Inf(1)
+		for pattern, lv := range levels {
+			d := y - lv*scale
+			d2 := d * d
+			if pattern&(1<<(half-1-b)) == 0 {
+				if d2 < min0 {
+					min0 = d2
+				}
+			} else if d2 < min1 {
+				min1 = d2
+			}
+		}
+		out[b] = (min1 - min0) / (2 * sigma2)
+	}
 }
 
 // HardDemodulate returns hard bit decisions (0/1 per byte) for symbols.

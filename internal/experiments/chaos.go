@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"slingshot/internal/chaos"
+	"slingshot/internal/par"
 )
 
 func init() {
@@ -24,12 +25,17 @@ func runChaos(scale float64) Result {
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "profile %s, horizon %v, %d seeds\n", profile.Name, profile.Horizon, seeds)
+	// Seed-shard across the worker pool: each run is an independent
+	// simulation, and the report text is assembled in ascending seed order
+	// afterwards, so the output is byte-identical at any worker count.
+	reports := par.Map(seeds, func(i int) *chaos.Report {
+		return chaos.Run(uint64(i)+1, profile)
+	})
 	failures := 0
 	var firstFailing *chaos.Report
-	for seed := uint64(1); seed <= uint64(seeds); seed++ {
-		rep := chaos.Run(seed, profile)
+	for _, rep := range reports {
 		fmt.Fprintf(&b, "seed %d: %d fault events, %d migrations, %d detections, %d violations, fingerprint %016x\n",
-			seed, len(rep.Events), rep.Migrations, rep.Detections, rep.TotalViolations, rep.Fingerprint)
+			rep.Seed, len(rep.Events), rep.Migrations, rep.Detections, rep.TotalViolations, rep.Fingerprint)
 		if rep.TotalViolations > 0 {
 			failures++
 			if firstFailing == nil {

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"slingshot/internal/core"
+	"slingshot/internal/par"
 	"slingshot/internal/sim"
 	"slingshot/internal/traffic"
 )
@@ -55,9 +56,13 @@ func runFig8(scale float64) Result {
 	if seconds < 5 {
 		seconds = 5
 	}
-	none := videoScenario("none", seconds)
-	baseline := videoScenario("baseline", seconds)
-	sling := videoScenario("slingshot", seconds)
+	// The three scenarios are independent simulations; shard them across
+	// the worker pool and read the series back in a fixed order.
+	modes := []string{"none", "baseline", "slingshot"}
+	series := par.Map(len(modes), func(i int) []float64 {
+		return videoScenario(modes[i], seconds)
+	})
+	none, baseline, sling := series[0], series[1], series[2]
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "Avg received video bitrate (kbps) per second; PHY killed at t=2.6s:\n")

@@ -6,6 +6,7 @@ import (
 
 	"slingshot/internal/core"
 	"slingshot/internal/metrics"
+	"slingshot/internal/par"
 	"slingshot/internal/phy"
 	"slingshot/internal/sim"
 	"slingshot/internal/switchsim"
@@ -28,7 +29,15 @@ func runSec82(scale float64) Result {
 	gap := metrics.NewSample()       // DL-silence TTIs at the UE
 	boundarySlots := metrics.NewSample()
 
-	for run := 0; run < runs; run++ {
+	// Each failover run is an independent simulation: shard them across the
+	// worker pool and fold the per-run measurements into the samples in run
+	// order, so the report is byte-identical at any worker count.
+	type sec82Run struct {
+		detection, boundary float64
+		hasDet, hasBound    bool
+		gapTTIs             float64
+	}
+	measured := par.Map(runs, func(run int) sec82Run {
 		cfg := core.DefaultConfig()
 		cfg.Seed = uint64(run + 1)
 		cfg.UEs = []core.UESpec{{ID: 1, Name: "probe-ue", MeanSNRdB: 25, FadeStd: 0.5, FadeCorr: 0.9}}
@@ -53,13 +62,26 @@ func runSec82(scale float64) Result {
 		stop()
 		d.Stop()
 
+		var m sec82Run
 		if len(d.Switch.DetectionLog) > 0 {
-			detection.Add((d.Switch.DetectionLog[0] - killAt).Millis())
+			m.detection = (d.Switch.DetectionLog[0] - killAt).Millis()
+			m.hasDet = true
 		}
 		if len(d.Switch.MigrationLog) > 0 {
-			boundarySlots.Add(float64(d.Switch.MigrationLog[0].At/phy.TTI) - float64(killSlot))
+			m.boundary = float64(d.Switch.MigrationLog[0].At/phy.TTI) - float64(killSlot)
+			m.hasBound = true
 		}
-		gap.Add(float64(maxGap) / float64(phy.TTI))
+		m.gapTTIs = float64(maxGap) / float64(phy.TTI)
+		return m
+	})
+	for _, m := range measured {
+		if m.hasDet {
+			detection.Add(m.detection)
+		}
+		if m.hasBound {
+			boundarySlots.Add(m.boundary)
+		}
+		gap.Add(m.gapTTIs)
 	}
 
 	var b strings.Builder

@@ -1,0 +1,34 @@
+package fec
+
+import "slingshot/internal/par"
+
+// DecodeJob is one transport block's decode work for DecodeBatch.
+type DecodeJob struct {
+	Code     *Code
+	LLR      []float64
+	MaxIters int
+}
+
+// DecodeBatch fans a slot's transport-block decodes across the bounded
+// worker pool (internal/par) and returns results in input order: result i
+// always belongs to jobs[i], regardless of which worker ran it, so callers
+// observe a schedule-independent merge. Jobs may freely share one cached
+// *Code — each decode borrows pooled per-call scratch — and the returned
+// Info slices are copies that stay valid indefinitely.
+//
+// The call blocks until every job has finished; in the simulator this is
+// what keeps virtual time frozen while workers run. With SLINGSHOT_WORKERS=1
+// the batch degrades to an inline sequential loop in job order.
+func DecodeBatch(jobs []DecodeJob) []DecodeResult {
+	return par.Map(len(jobs), func(i int) DecodeResult {
+		return jobs[i].Code.Decode(jobs[i].LLR, jobs[i].MaxIters)
+	})
+}
+
+// GetScratch borrows pooled decoder scratch; pair with PutScratch. Hot
+// paths use it with DecodeWithScratch to decode with zero allocations.
+func (c *Code) GetScratch() *DecodeScratch { return c.getScratch() }
+
+// PutScratch returns borrowed scratch to the pool. The scratch (and any
+// DecodeResult.Info aliasing it) must not be used afterwards.
+func (c *Code) PutScratch(s *DecodeScratch) { c.putScratch(s) }

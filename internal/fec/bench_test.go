@@ -1,0 +1,84 @@
+package fec
+
+import (
+	"testing"
+
+	"slingshot/internal/sim"
+)
+
+// benchCodeAndLLR builds the default-sized code plus a noisy-but-decodable
+// LLR vector (≈6 dB), so the benchmark exercises a realistic number of
+// min-sum iterations rather than converging instantly.
+func benchCodeAndLLR() (*Code, []float64) {
+	c := NewCode(256, 512, 42)
+	rng := sim.NewRNG(7)
+	info := make([]byte, c.K)
+	for i := range info {
+		info[i] = byte(rng.Uint64() & 1)
+	}
+	coded := c.Encode(info)
+	llr := make([]float64, c.N)
+	for i, bit := range coded {
+		s := 1.0
+		if bit == 1 {
+			s = -1
+		}
+		llr[i] = s*2.0 + rng.Norm()
+	}
+	return c, llr
+}
+
+// BenchmarkFECDecode tracks the min-sum decode kernel as the PHY hot path
+// runs it: pooled scratch, zero allocations per block. (The seed decoder
+// cost one Info copy per call; see BENCH_2026-08-06_baseline.json.)
+func BenchmarkFECDecode(b *testing.B) {
+	c, llr := benchCodeAndLLR()
+	s := c.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	ok := 0
+	for i := 0; i < b.N; i++ {
+		if c.DecodeWithScratch(llr, 8, s).OK {
+			ok++
+		}
+	}
+	if ok == 0 {
+		b.Fatal("benchmark LLRs never decoded; noise model broken")
+	}
+}
+
+// BenchmarkFECDecodeParallel tracks DecodeBatch fanning one slot's worth
+// of transport blocks (16) across the worker pool — the shape the PHY's
+// pipeline drain dispatches. On a multi-core host this is the kernel that
+// should scale with GOMAXPROCS; allocs/op stay bounded by the per-job Info
+// copy regardless of pool width.
+func BenchmarkFECDecodeParallel(b *testing.B) {
+	c, _ := benchCodeAndLLR()
+	const blocks = 16
+	jobs := make([]DecodeJob, blocks)
+	for i := range jobs {
+		rng := sim.NewRNG(uint64(100 + i))
+		info := make([]byte, c.K)
+		for j := range info {
+			info[j] = byte(rng.Uint64() & 1)
+		}
+		coded := c.Encode(info)
+		llr := make([]float64, c.N)
+		for j, bit := range coded {
+			s := 1.0
+			if bit == 1 {
+				s = -1
+			}
+			llr[j] = s*2.0 + rng.Norm()
+		}
+		jobs[i] = DecodeJob{Code: c, LLR: llr, MaxIters: 8}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := DecodeBatch(jobs)
+		if len(res) != blocks {
+			b.Fatal("short batch")
+		}
+	}
+}

@@ -3,6 +3,7 @@ package fec
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"slingshot/internal/sim"
 )
@@ -27,11 +28,56 @@ type Code struct {
 	varRows [][]int
 	edges   int
 
-	// Decoder scratch, reused across Decode calls (single-threaded sim).
-	c2v       [][]float64
+	// scratch pools per-decode working state. Decoder scratch used to live
+	// directly on Code (c2v/posterior/hard fields), which silently aliased
+	// state between every decoder sharing the cached *Code — fine while the
+	// whole simulator was single-threaded, but a data race (and a wrong-
+	// answer generator: interleaved decodes corrupting each other's
+	// messages) the moment two goroutines decode through one Code. Pooled
+	// DecodeScratch makes the shared, immutable Tanner graph safe to decode
+	// concurrently; see TestDecodeSharedCodeConcurrently.
+	scratch sync.Pool
+}
+
+// DecodeScratch is the per-call working state of the min-sum decoder:
+// check-to-variable messages, posteriors and hard decisions. One scratch
+// serves one in-flight Decode; obtain it from Code.NewScratch (or let
+// Decode/DecodeBatch pool them) and never share it across goroutines.
+type DecodeScratch struct {
+	c2v       [][]float64 // per-row messages, one backing array (c2vFlat)
+	c2vFlat   []float64
 	posterior []float64
 	hard      []byte
+	info      []byte // result staging for DecodeWithScratch
 }
+
+// NewScratch allocates decoder scratch sized for the code.
+func (c *Code) NewScratch() *DecodeScratch {
+	s := &DecodeScratch{
+		c2v:       make([][]float64, c.M),
+		c2vFlat:   make([]float64, c.edges),
+		posterior: make([]float64, c.N),
+		hard:      make([]byte, c.N),
+		info:      make([]byte, c.K),
+	}
+	off := 0
+	for i, rv := range c.rowVars {
+		s.c2v[i] = s.c2vFlat[off : off+len(rv)]
+		off += len(rv)
+	}
+	return s
+}
+
+// getScratch fetches pooled scratch (allocating on first use).
+func (c *Code) getScratch() *DecodeScratch {
+	if s, ok := c.scratch.Get().(*DecodeScratch); ok {
+		return s
+	}
+	return c.NewScratch()
+}
+
+// putScratch returns scratch to the pool.
+func (c *Code) putScratch(s *DecodeScratch) { c.scratch.Put(s) }
 
 // InfoWeight is the number of information bits combined per parity row.
 const InfoWeight = 3
@@ -104,7 +150,6 @@ func NewCode(k, n int, seed uint64) *Code {
 	// Flattened per-row adjacency for the decoder: info columns, own
 	// parity column K+i, and the previous parity column K+i-1 (i > 0).
 	c.rowVars = make([][]int, m)
-	c.c2v = make([][]float64, m)
 	for i := range c.rows {
 		rv := make([]int, 0, InfoWeight+2)
 		rv = append(rv, c.rows[i]...)
@@ -113,10 +158,7 @@ func NewCode(k, n int, seed uint64) *Code {
 			rv = append(rv, k+i-1)
 		}
 		c.rowVars[i] = rv
-		c.c2v[i] = make([]float64, len(rv))
 	}
-	c.posterior = make([]float64, n)
-	c.hard = make([]byte, n)
 	return c
 }
 
@@ -156,7 +198,23 @@ type DecodeResult struct {
 //
 // More iterations strictly improve (or preserve) decode success at a given
 // SNR; this is the lever the Fig 11 live-upgrade experiment pulls.
+//
+// Decode is a thin wrapper over the scratch-based path: it borrows pooled
+// scratch and copies the info bits out, so it is safe to call from many
+// goroutines on one shared Code. Hot paths that decode in batches should
+// use DecodeWithScratch/DecodeBatch to skip the result copy.
 func (c *Code) Decode(llr []float64, maxIters int) DecodeResult {
+	s := c.getScratch()
+	res := c.DecodeWithScratch(llr, maxIters, s)
+	res.Info = append([]byte(nil), res.Info...)
+	c.putScratch(s)
+	return res
+}
+
+// DecodeWithScratch is Decode with caller-owned scratch. The returned
+// Info aliases s.info: it is valid until the next decode with (or pooled
+// reuse of) the same scratch — copy it out before releasing s.
+func (c *Code) DecodeWithScratch(llr []float64, maxIters int, s *DecodeScratch) DecodeResult {
 	if len(llr) != c.N {
 		panic(fmt.Sprintf("fec: Decode got %d LLRs, code N=%d", len(llr), c.N))
 	}
@@ -166,14 +224,12 @@ func (c *Code) Decode(llr []float64, maxIters int) DecodeResult {
 	const alpha = 0.8 // normalization factor for min-sum
 
 	rowVars := c.rowVars
-	c2v := c.c2v
-	for i := range c2v {
-		for j := range c2v[i] {
-			c2v[i][j] = 0
-		}
+	c2v := s.c2v
+	for i := range s.c2vFlat {
+		s.c2vFlat[i] = 0
 	}
-	posterior := c.posterior
-	hard := c.hard
+	posterior := s.posterior
+	hard := s.hard
 
 	result := DecodeResult{}
 	for iter := 1; iter <= maxIters; iter++ {
@@ -240,7 +296,8 @@ func (c *Code) Decode(llr []float64, maxIters int) DecodeResult {
 			break
 		}
 	}
-	result.Info = append([]byte(nil), hard[:c.K]...)
+	copy(s.info, hard[:c.K])
+	result.Info = s.info
 	return result
 }
 
@@ -266,13 +323,20 @@ func (c *Code) checkParity(bits []byte) bool {
 func (c *Code) Edges() int { return c.edges }
 
 // codeCache memoizes constructed codes; construction is deterministic so
-// sharing is safe across encoders and decoders.
-var codeCache = map[[3]uint64]*Code{}
+// sharing is safe across encoders and decoders. The mutex makes Get safe
+// from concurrently sharded experiment runs (internal/par seed shards).
+var (
+	codeCacheMu sync.Mutex
+	codeCache   = map[[3]uint64]*Code{}
+)
 
-// Get returns a cached code for (k, n, seed), constructing it on first use.
-// Not safe for concurrent use; the simulator is single-threaded.
+// Get returns a cached code for (k, n, seed), constructing it on first
+// use. Safe for concurrent use; the returned *Code may be decoded from
+// many goroutines (per-call scratch is pooled, the graph is immutable).
 func Get(k, n int, seed uint64) *Code {
 	key := [3]uint64{uint64(k), uint64(n), seed}
+	codeCacheMu.Lock()
+	defer codeCacheMu.Unlock()
 	if c, ok := codeCache[key]; ok {
 		return c
 	}

@@ -1,0 +1,38 @@
+package fronthaul
+
+import (
+	"testing"
+
+	"slingshot/internal/sim"
+)
+
+// BenchmarkBFPRoundTrip tracks the BFP compress+decompress kernel as the
+// hot paths run it — append-style APIs over recycled buffers, zero
+// allocations per packet. (The seed kernel allocated the encode and decode
+// buffers on every call; see BENCH_2026-08-06_baseline.json.) 288 samples
+// is a 24-PRB allocation, a typical sampled-block payload.
+func BenchmarkBFPRoundTrip(b *testing.B) {
+	rng := sim.NewRNG(3)
+	iq := make([]complex128, 288)
+	for i := range iq {
+		iq[i] = complex(rng.Norm(), rng.Norm())
+	}
+	var enc []byte
+	var dec []complex128
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		enc, err = AppendCompressBFP(enc[:0], iq, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dec, err = AppendDecompressBFP(dec[:0], enc, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(dec) != len(iq) {
+			b.Fatalf("round trip length %d != %d", len(dec), len(iq))
+		}
+	}
+}

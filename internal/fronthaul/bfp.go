@@ -30,6 +30,12 @@ func BFPBlockBytes(mantissaBits int) int {
 // BFP blocks. Values are expected in roughly [-8, 8]; larger magnitudes
 // saturate.
 func CompressBFP(iq []complex128, mantissaBits int) ([]byte, error) {
+	return AppendCompressBFP(nil, iq, mantissaBits)
+}
+
+// AppendCompressBFP is CompressBFP appending to dst, so per-packet hot
+// paths can reuse one output buffer (pass dst[:0]) instead of allocating.
+func AppendCompressBFP(dst []byte, iq []complex128, mantissaBits int) ([]byte, error) {
 	if len(iq)%12 != 0 {
 		return nil, fmt.Errorf("fronthaul: %d IQ samples not a multiple of 12", len(iq))
 	}
@@ -37,8 +43,13 @@ func CompressBFP(iq []complex128, mantissaBits int) ([]byte, error) {
 		return nil, fmt.Errorf("fronthaul: mantissa width %d out of range", mantissaBits)
 	}
 	nBlocks := len(iq) / 12
-	out := make([]byte, 0, nBlocks*BFPBlockBytes(mantissaBits))
-	vals := make([]float64, ValuesPerBlock)
+	out := dst
+	if need := len(out) + nBlocks*BFPBlockBytes(mantissaBits); cap(out) < need {
+		grown := make([]byte, len(out), need)
+		copy(grown, out)
+		out = grown
+	}
+	var vals [ValuesPerBlock]float64
 	maxMant := float64(int(1)<<(mantissaBits-1)) - 1
 
 	for b := 0; b < nBlocks; b++ {
@@ -48,7 +59,7 @@ func CompressBFP(iq []complex128, mantissaBits int) ([]byte, error) {
 			vals[2*i+1] = imag(s)
 		}
 		var peak float64
-		for _, v := range vals {
+		for _, v := range &vals {
 			if a := math.Abs(v); a > peak {
 				peak = a
 			}
@@ -69,7 +80,7 @@ func CompressBFP(iq []complex128, mantissaBits int) ([]byte, error) {
 		out = append(out, byte(e))
 		var acc uint64
 		accBits := 0
-		for _, v := range vals {
+		for _, v := range &vals {
 			q := int64(math.Round(v / scale * maxMant))
 			if q > int64(maxMant) {
 				q = int64(maxMant)
@@ -94,6 +105,12 @@ func CompressBFP(iq []complex128, mantissaBits int) ([]byte, error) {
 
 // DecompressBFP decodes BFP blocks back into complex samples.
 func DecompressBFP(data []byte, mantissaBits int) ([]complex128, error) {
+	return AppendDecompressBFP(nil, data, mantissaBits)
+}
+
+// AppendDecompressBFP is DecompressBFP appending to dst, so per-packet hot
+// paths can reuse one IQ buffer (pass dst[:0]) instead of allocating.
+func AppendDecompressBFP(dst []complex128, data []byte, mantissaBits int) ([]complex128, error) {
 	if mantissaBits < 2 || mantissaBits > 16 {
 		return nil, fmt.Errorf("fronthaul: mantissa width %d out of range", mantissaBits)
 	}
@@ -102,11 +119,17 @@ func DecompressBFP(data []byte, mantissaBits int) ([]complex128, error) {
 		return nil, fmt.Errorf("fronthaul: %d bytes not a multiple of block size %d", len(data), blockBytes)
 	}
 	nBlocks := len(data) / blockBytes
-	out := make([]complex128, 0, nBlocks*12)
+	out := dst
+	if need := len(out) + nBlocks*12; cap(out) < need {
+		grown := make([]complex128, len(out), need)
+		copy(grown, out)
+		out = grown
+	}
 	maxMant := float64(int(1)<<(mantissaBits-1)) - 1
 	signBit := uint64(1) << (mantissaBits - 1)
 	mask := uint64(1)<<mantissaBits - 1
 
+	var vals [ValuesPerBlock]float64
 	for b := 0; b < nBlocks; b++ {
 		blk := data[b*blockBytes : (b+1)*blockBytes]
 		e := int(blk[0] & 0x0F)
@@ -114,8 +137,7 @@ func DecompressBFP(data []byte, mantissaBits int) ([]complex128, error) {
 		var acc uint64
 		accBits := 0
 		pos := 1
-		vals := make([]float64, 0, ValuesPerBlock)
-		for len(vals) < ValuesPerBlock {
+		for v := 0; v < ValuesPerBlock; v++ {
 			for accBits < mantissaBits {
 				acc = acc<<8 | uint64(blk[pos])
 				pos++
@@ -132,7 +154,7 @@ func DecompressBFP(data []byte, mantissaBits int) ([]complex128, error) {
 			if q < -int64(maxMant) {
 				q = -int64(maxMant)
 			}
-			vals = append(vals, float64(q)/maxMant*scale)
+			vals[v] = float64(q) / maxMant * scale
 		}
 		for i := 0; i < 12; i++ {
 			out = append(out, complex(vals[2*i], vals[2*i+1]))

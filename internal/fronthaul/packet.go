@@ -210,8 +210,14 @@ func NewControl(eaxc uint16, seq uint8, dir Direction, slot SlotID, sections uin
 // IQ decodes the packet's payload into complex samples. Only valid for
 // U-plane packets.
 func (p *Packet) IQ() ([]complex128, error) {
+	return p.AppendIQ(nil)
+}
+
+// AppendIQ is IQ appending into dst (pass a recycled buffer's [:0] to
+// decode a packet without allocating).
+func (p *Packet) AppendIQ(dst []complex128) ([]complex128, error) {
 	if p.Type != MsgIQData {
 		return nil, fmt.Errorf("fronthaul: IQ() on %v packet", p.Type)
 	}
-	return DecompressBFP(p.Payload, int(p.MantissaBits))
+	return AppendDecompressBFP(dst, p.Payload, int(p.MantissaBits))
 }

@@ -1,0 +1,149 @@
+// Package par is the deterministic parallel execution layer for the
+// compute-heavy, virtual-time-free parts of the stack (FEC decode batches,
+// DL encode batches, multi-seed experiment shards).
+//
+// The concurrency contract (DESIGN.md "Concurrency model"):
+//
+//   - Callers block until every task of a batch has finished, so simulated
+//     virtual time NEVER advances while workers run. The discrete-event
+//     engine stays single-threaded; workers only ever execute pure(ish)
+//     compute whose inputs were captured on the event-loop goroutine.
+//   - Results are merged by index: task i writes slot i, so the assembled
+//     output is independent of worker scheduling.
+//   - SLINGSHOT_WORKERS=1 (or a 1-core GOMAXPROCS) degrades every batch to
+//     an inline sequential loop on the caller's goroutine — the exact
+//     schedule the sequential simulator had, which CI's -race lane and the
+//     workers=1-vs-N determinism tests rely on.
+//
+// Total in-flight workers across nested batches are bounded by a global
+// token pool of Workers()-1 extra goroutines. Nested ForEach calls that
+// find the pool drained simply run inline instead of blocking, which makes
+// nesting (seed-shard outside, decode-batch inside) deadlock-free.
+package par
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	mu       sync.Mutex
+	maxExtra int // extra worker goroutines allowed beyond the callers
+	inFlight int // extra workers currently running
+)
+
+func init() {
+	SetWorkers(defaultWorkers())
+}
+
+// defaultWorkers reads SLINGSHOT_WORKERS, falling back to GOMAXPROCS.
+func defaultWorkers() int {
+	if v := os.Getenv("SLINGSHOT_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Workers returns the configured worker-pool width (≥1). 1 means fully
+// sequential execution.
+func Workers() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return maxExtra + 1
+}
+
+// SetWorkers overrides the pool width and returns the previous value.
+// Intended for tests (workers=1 vs workers=N determinism) and the
+// SLINGSHOT_WORKERS escape hatch; safe to call between batches.
+func SetWorkers(n int) (prev int) {
+	if n < 1 {
+		n = 1
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	prev = maxExtra + 1
+	maxExtra = n - 1
+	return prev
+}
+
+// tryAcquire grabs up to want extra-worker tokens without blocking.
+func tryAcquire(want int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	free := maxExtra - inFlight
+	if free <= 0 {
+		return 0
+	}
+	if want > free {
+		want = free
+	}
+	inFlight += want
+	return want
+}
+
+func release(n int) {
+	mu.Lock()
+	inFlight -= n
+	mu.Unlock()
+}
+
+// ForEach runs fn(0..n-1) across the worker pool and returns once every
+// call has completed. Tasks are claimed from a shared counter, so the
+// execution interleaving is nondeterministic — fn must only communicate
+// through its index (write slot i of a result slice, never append to a
+// shared one). With a pool width of 1 (or when the token pool is drained
+// by an enclosing batch) the loop runs inline on the caller's goroutine in
+// ascending index order.
+func ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	want := n - 1 // the caller's goroutine is always one worker
+	if w := Workers() - 1; want > w {
+		want = w
+	}
+	extra := 0
+	if want > 0 {
+		extra = tryAcquire(want)
+	}
+	if extra == 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(extra)
+	for k := 0; k < extra; k++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+	release(extra)
+}
+
+// Map runs fn over 0..n-1 on the pool and returns the results in input
+// order (slot i holds fn(i)), regardless of which worker computed what.
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, func(i int) { out[i] = fn(i) })
+	return out
+}

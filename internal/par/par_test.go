@@ -1,0 +1,67 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdered(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	got := Map(100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestSequentialWhenOneWorker(t *testing.T) {
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	// With one worker the loop must run inline in ascending order.
+	var order []int
+	ForEach(10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline order broken: %v", order)
+		}
+	}
+}
+
+func TestEveryIndexRunsExactlyOnce(t *testing.T) {
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+	const n = 1000
+	var counts [n]atomic.Int32
+	ForEach(n, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestNestedBatchesDoNotDeadlock runs batches inside batches; inner calls
+// must fall back to inline execution when the token pool is drained.
+func TestNestedBatchesDoNotDeadlock(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	var total atomic.Int64
+	ForEach(8, func(i int) {
+		ForEach(8, func(j int) {
+			total.Add(1)
+		})
+	})
+	if total.Load() != 64 {
+		t.Fatalf("ran %d inner tasks, want 64", total.Load())
+	}
+}
+
+func TestSetWorkersClampsAndRestores(t *testing.T) {
+	prev := SetWorkers(0)
+	if Workers() != 1 {
+		t.Fatalf("SetWorkers(0) left %d workers, want clamp to 1", Workers())
+	}
+	SetWorkers(prev)
+}

@@ -1,6 +1,8 @@
 package phy
 
 import (
+	"sync"
+
 	"slingshot/internal/dsp"
 	"slingshot/internal/fec"
 	"slingshot/internal/sim"
@@ -129,27 +131,70 @@ type HARQCombiner interface {
 	TxCount(ue uint16, proc uint8) int
 }
 
-// DecodeBlock runs the receive chain on received symbols: channel
-// estimation from pilots, equalization, soft demodulation, descrambling,
-// HARQ combining, FEC decoding (iters iterations), CRC check.
-func (c *Codec) DecodeBlock(rx []complex128, slot uint64, ue uint16, m dsp.Modulation,
-	pool HARQCombiner, proc uint8, newData bool, iters int) DecodeOutcome {
+// blockBuf holds the recycled per-block receive-chain buffers (pilots,
+// equalized data, LLRs, CRC staging). Pooled package-wide: any codec can
+// reuse any buffer, and buffers checked out by in-flight PreparedBlocks
+// are returned on FinishPrepared/Release.
+type blockBuf struct {
+	pilots []complex128
+	iq     []complex128
+	llr    []float64
+	crc    []byte
+}
 
-	out := DecodeOutcome{TxCount: 1}
+var blockBufPool = sync.Pool{New: func() any { return new(blockBuf) }}
+
+// PreparedBlock is the event-loop half of an uplink decode: everything up
+// to and including HARQ combining, captured so the expensive FEC decode
+// can run later (and on a worker goroutine) without touching shared state.
+// The LLRs are detached copies — they do not alias HARQ soft buffers.
+type PreparedBlock struct {
+	LLR     []float64
+	SNRdB   float64
+	TxCount int
+	// Valid reports the receive chain produced enough LLRs to attempt FEC
+	// decode; a false Valid block decodes as a CRC failure, like the seed
+	// DecodeBlock's early returns.
+	Valid bool
+
+	buf *blockBuf
+}
+
+// Release returns the block's recycled buffers to the pool. FinishPrepared
+// calls it; use it directly only for blocks that are abandoned undecoded.
+func (pb *PreparedBlock) Release() {
+	if pb.buf != nil {
+		blockBufPool.Put(pb.buf)
+		pb.buf = nil
+		pb.LLR = nil
+	}
+}
+
+// PrepareBlock runs the stateful front half of the receive chain on the
+// event-loop goroutine: channel estimation from pilots, equalization, soft
+// demodulation, descrambling and HARQ combining. The returned block is
+// self-contained; DecodePrepared may then run on any worker goroutine.
+func (c *Codec) PrepareBlock(rx []complex128, slot uint64, ue uint16, m dsp.Modulation,
+	pool HARQCombiner, proc uint8, newData bool) PreparedBlock {
+
+	pb := PreparedBlock{TxCount: 1}
 	if len(rx) < c.PilotLen+1 {
-		return out
+		pb.TxCount = 0
+		return pb
 	}
-	txPilots := dsp.Pilots(c.PilotLen, c.pilotSeed(slot, ue))
-	h, noiseVar := dsp.EstimateChannel(rx[:c.PilotLen], txPilots)
-	out.SNRdB = dsp.SNRFromNoiseVar(noiseVar)
+	buf := blockBufPool.Get().(*blockBuf)
+	pb.buf = buf
+	buf.pilots = dsp.PilotsInto(buf.pilots, c.PilotLen, c.pilotSeed(slot, ue))
+	h, noiseVar := dsp.EstimateChannel(rx[:c.PilotLen], buf.pilots)
+	pb.SNRdB = dsp.SNRFromNoiseVar(noiseVar)
 
-	data := append([]complex128(nil), rx[c.PilotLen:]...)
-	dsp.Equalize(data, h)
-	llr := dsp.Demodulate(data, m, noiseVar)
-	if len(llr) < c.Code.N {
-		return out
+	buf.iq = append(buf.iq[:0], rx[c.PilotLen:]...)
+	dsp.Equalize(buf.iq, h)
+	buf.llr = dsp.DemodulateInto(buf.llr, buf.iq, m, noiseVar)
+	if len(buf.llr) < c.Code.N {
+		return pb
 	}
-	llr = llr[:c.Code.N]
+	llr := buf.llr[:c.Code.N]
 	mask := c.scrambleMask(slot, ue)
 	for i := range llr {
 		if mask.Uint64()&1 == 1 {
@@ -157,36 +202,80 @@ func (c *Codec) DecodeBlock(rx []complex128, slot uint64, ue uint16, m dsp.Modul
 		}
 	}
 	if pool != nil {
-		llr = c.cloneIfNeeded(pool.Combine(ue, proc, llr, newData))
-		out.TxCount = pool.TxCount(ue, proc)
+		// Copy the combined LLRs back into the recycled buffer so the
+		// decoder never aliases the live HARQ soft buffer.
+		combined := pool.Combine(ue, proc, llr, newData)
+		copy(llr, combined)
+		pb.TxCount = pool.TxCount(ue, proc)
 	}
-	res := c.Code.Decode(llr, iters)
-	out.WorkUnits = c.Code.Edges() * res.Iterations
-	if !res.OK {
+	pb.LLR = llr
+	pb.Valid = true
+	return pb
+}
+
+// DecodePrepared runs the compute half — min-sum FEC decode plus the
+// sampled block's CRC-16 — with pooled decoder scratch. It is pure: no
+// HARQ, RNG or codec state is touched, so a slot's prepared blocks can be
+// decoded concurrently on the internal/par pool while virtual time stays
+// frozen. Follow with FinishPrepared on the event-loop goroutine.
+func (c *Codec) DecodePrepared(pb *PreparedBlock, iters int) DecodeOutcome {
+	out := DecodeOutcome{TxCount: pb.TxCount, SNRdB: pb.SNRdB}
+	if !pb.Valid {
 		return out
 	}
-	// Verify the sampled block's CRC-16 — parity convergence alone can be
-	// a wrong codeword.
-	k := c.Code.K
-	nBytes := k / 8
-	buf := make([]byte, nBytes)
-	for i := 0; i < k; i++ {
-		buf[i/8] |= res.Info[i] << (7 - i%8)
+	s := c.Code.GetScratch()
+	res := c.Code.DecodeWithScratch(pb.LLR, iters, s)
+	out.WorkUnits = c.Code.Edges() * res.Iterations
+	if res.OK {
+		// Verify the sampled block's CRC-16 — parity convergence alone can
+		// be a wrong codeword.
+		k := c.Code.K
+		nBytes := k / 8
+		buf := pb.buf.crc
+		if cap(buf) < nBytes {
+			buf = make([]byte, nBytes)
+			pb.buf.crc = buf
+		}
+		buf = buf[:nBytes]
+		for i := range buf {
+			buf[i] = 0
+		}
+		for i := 0; i < k; i++ {
+			buf[i/8] |= res.Info[i] << (7 - i%8)
+		}
+		_, out.OK = fec.CheckCRC16(buf)
 	}
-	_, ok := fec.CheckCRC16(buf[:k/8])
-	out.OK = ok
-	if ok && pool != nil {
-		pool.Ack(ue, proc)
-	}
+	c.Code.PutScratch(s)
 	return out
 }
 
-// cloneIfNeeded copies combined LLRs so the decoder cannot alias the HARQ
-// buffer (min-sum reads llr repeatedly but never writes; the copy guards
-// against future decoder changes at negligible cost).
-func (c *Codec) cloneIfNeeded(llr []float64) []float64 {
-	out := make([]float64, len(llr))
-	copy(out, llr)
+// FinishPrepared applies a decode outcome's HARQ effect (releasing the
+// soft buffer on success) and recycles the block's buffers. Must run on
+// the event-loop goroutine, after every worker of the batch has finished.
+func (c *Codec) FinishPrepared(pb *PreparedBlock, out DecodeOutcome,
+	pool HARQCombiner, ue uint16, proc uint8) {
+
+	if out.OK && pool != nil {
+		pool.Ack(ue, proc)
+	}
+	pb.Release()
+}
+
+// DecodeBlock runs the full receive chain on received symbols: channel
+// estimation from pilots, equalization, soft demodulation, descrambling,
+// HARQ combining, FEC decoding (iters iterations), CRC check. It is the
+// sequential composition of PrepareBlock → DecodePrepared →
+// FinishPrepared; the PHY's slot-batched uplink path drives the stages
+// separately so a slot's blocks can decode in parallel.
+func (c *Codec) DecodeBlock(rx []complex128, slot uint64, ue uint16, m dsp.Modulation,
+	pool HARQCombiner, proc uint8, newData bool, iters int) DecodeOutcome {
+
+	pb := c.PrepareBlock(rx, slot, ue, m, pool, proc, newData)
+	if pb.TxCount == 0 {
+		pb.TxCount = 1 // seed semantics: too-short rx still reports one tx
+	}
+	out := c.DecodePrepared(&pb, iters)
+	c.FinishPrepared(&pb, out, pool, ue, proc)
 	return out
 }
 

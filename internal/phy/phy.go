@@ -9,6 +9,7 @@ import (
 	"slingshot/internal/fronthaul"
 	"slingshot/internal/harq"
 	"slingshot/internal/netmodel"
+	"slingshot/internal/par"
 	"slingshot/internal/sim"
 )
 
@@ -113,11 +114,25 @@ type PHY struct {
 	cellOrder []uint16 // sorted ids: deterministic slot-processing order
 	crashed   bool
 	stopClock func()
+	// iqBuf is the recycled uplink IQ decompression buffer. receiveUL runs
+	// only on the event-loop goroutine and PrepareBlock copies the samples
+	// it needs, so one buffer serves every reception.
+	iqBuf []complex128
 }
 
-type ulResult struct {
-	crc     fapi.CRCResult
-	payload []byte
+// pendingUL is one uplink reception awaiting the slot's pipeline drain.
+// The receive-chain front half (channel estimation through HARQ combining)
+// already ran at packet arrival; the FEC decode is deferred so the whole
+// slot's blocks can be dispatched across the worker pool at drain time.
+type pendingUL struct {
+	ue      uint16
+	harq    uint8
+	newData bool
+	hadIQ   bool // payload decompressed; false decodes as CRC fail (DTX-like)
+	tbHash  uint64
+	aux     []byte
+	snrAvg  float64
+	pb      PreparedBlock
 }
 
 type cell struct {
@@ -138,9 +153,9 @@ type cell struct {
 	ulConfigs map[uint64]*fapi.ULConfig
 	dlConfigs map[uint64]*fapi.DLConfig
 	txData    map[uint64]*fapi.TxData
-	// ulResults accumulates decode outcomes per slot until the pipeline
-	// drains them to the L2.
-	ulResults map[uint64][]ulResult
+	// ulPending accumulates prepared (combined, not yet FEC-decoded) uplink
+	// blocks per slot until the pipeline drains them to the L2.
+	ulPending map[uint64][]pendingUL
 	// ulSeen marks (slot,ue) receptions so missing fronthaul packets
 	// become DTX (CRC fail) at pipeline completion.
 	ulSeen map[uint64]map[uint16]bool
@@ -244,7 +259,7 @@ func (p *PHY) configure(req *fapi.ConfigRequest) {
 		ulConfigs: make(map[uint64]*fapi.ULConfig),
 		dlConfigs: make(map[uint64]*fapi.DLConfig),
 		txData:    make(map[uint64]*fapi.TxData),
-		ulResults: make(map[uint64][]ulResult),
+		ulPending: make(map[uint64][]pendingUL),
 		ulSeen:    make(map[uint64]map[uint16]bool),
 	}
 	if _, existed := p.cells[req.CellID]; !existed {
@@ -366,13 +381,19 @@ func (p *PHY) processSlot(c *cell, slot uint64) {
 		p.Engine.At(drainAt, "phy.ul-drain", func() { p.drainUL(cid, slot) })
 	}
 
-	// GC stale per-slot state.
+	// GC stale per-slot state. Pending blocks that never drained (crash
+	// races) give their pooled buffers back before the slice is dropped.
 	if slot > 20 {
 		old := slot - 20
 		delete(c.ulConfigs, old)
 		delete(c.dlConfigs, old)
 		delete(c.txData, old)
-		delete(c.ulResults, old)
+		if pend := c.ulPending[old]; pend != nil {
+			for i := range pend {
+				pend[i].pb.Release()
+			}
+			delete(c.ulPending, old)
+		}
 		delete(c.ulSeen, old)
 	}
 }
@@ -423,8 +444,18 @@ func (p *PHY) sendFronthaulAt(delay sim.Time, pkt *fronthaul.Packet, c *cell, vi
 }
 
 // transmitDL encodes each DL PDU's sampled block and ships U-plane packets
-// to the RU.
+// to the RU. It runs in three phases so a slot's encodes can share the
+// worker pool without perturbing the deterministic schedule: a sequential
+// phase drains every p.rng draw (jitter) and seq assignment in PDU order,
+// a parallel phase runs the pure encode + BFP compression, and a final
+// sequential phase schedules the sends in PDU order.
 func (p *PHY) transmitDL(c *cell, slot uint64, dl *fapi.DLConfig) {
+	// BFP width is fixed per cell; an invalid width fails every packet
+	// (the seed path dropped each one after encoding), so short-circuit
+	// before assigning sequence numbers or drawing jitter.
+	if c.codec.Mantissa < 2 || c.codec.Mantissa > 16 {
+		return
+	}
 	tx := c.txData[slot]
 	// Payloads key on (UE, HARQ process): one slot can carry both a
 	// retransmission and new data for the same UE.
@@ -434,22 +465,54 @@ func (p *PHY) transmitDL(c *cell, slot uint64, dl *fapi.DLConfig) {
 			payloads[uint32(pl.UEID)<<8|uint32(pl.HARQID)] = pl.Data
 		}
 	}
-	for _, pdu := range dl.PDUs {
-		tb := payloads[uint32(pdu.UEID)<<8|uint32(pdu.HARQID)]
-		iq := c.codec.EncodeBlock(tb, slot, pdu.UEID, pdu.Alloc.Mod)
-		iq = PadSymbols(iq)
-		pkt, err := fronthaul.NewDownlinkIQ(c.id, c.seq, fronthaul.SlotFromCounter(slot),
-			uint16(pdu.Alloc.StartPRB), uint16(pdu.Alloc.NumPRB), iq, c.codec.Mantissa)
-		if err != nil {
-			continue
+
+	// Phase 1 (sequential): fix the per-PDU sequence numbers and jitter
+	// draws in PDU order — the p.rng stream must advance exactly as the
+	// sequential schedule would.
+	type dlJob struct {
+		tb     []byte
+		ue     uint16
+		seq    uint8
+		jitter sim.Time
+		pkt    *fronthaul.Packet
+	}
+	jobs := make([]dlJob, len(dl.PDUs))
+	for i, pdu := range dl.PDUs {
+		jobs[i] = dlJob{
+			tb:     payloads[uint32(pdu.UEID)<<8|uint32(pdu.HARQID)],
+			ue:     pdu.UEID,
+			seq:    c.seq,
+			jitter: sim.Time(p.rng.Float64() * float64(p.Cfg.HeartbeatJitter)),
 		}
 		c.seq++
+	}
+
+	// Phase 2 (parallel): pure compute — encode, pad, BFP-compress.
+	// Results land by index, so the merge order below is deterministic.
+	par.ForEach(len(jobs), func(i int) {
+		pdu := &dl.PDUs[i]
+		iq := c.codec.EncodeBlock(jobs[i].tb, slot, pdu.UEID, pdu.Alloc.Mod)
+		iq = PadSymbols(iq)
+		pkt, err := fronthaul.NewDownlinkIQ(c.id, jobs[i].seq, fronthaul.SlotFromCounter(slot),
+			uint16(pdu.Alloc.StartPRB), uint16(pdu.Alloc.NumPRB), iq, c.codec.Mantissa)
+		if err != nil {
+			return
+		}
+		jobs[i].pkt = pkt
+	})
+
+	// Phase 3 (sequential): schedule sends in PDU order.
+	for i := range jobs {
+		pkt := jobs[i].pkt
+		if pkt == nil {
+			continue
+		}
+		pdu := &dl.PDUs[i]
 		pkt.Section = pdu.UEID
-		pkt.Aux = tb
+		pkt.Aux = jobs[i].tb
 		// Virtual size: the full allocation's compressed IQ.
 		virtual := pdu.Alloc.REs() / 12 * fronthaul.BFPBlockBytes(c.codec.Mantissa)
-		jitter := sim.Time(p.rng.Float64() * float64(p.Cfg.HeartbeatJitter))
-		p.sendFronthaulAt(p.Cfg.UPlaneOffset+jitter, pkt, c, virtual)
+		p.sendFronthaulAt(p.Cfg.UPlaneOffset+jobs[i].jitter, pkt, c, virtual)
 		p.Stats.EncodedTBs++
 		p.Stats.WorkUnits += uint64(c.codec.Code.Edges()) // encode cost ~ one pass
 	}
@@ -490,7 +553,11 @@ func (p *PHY) HandleFrame(f *netmodel.Frame) {
 	p.receiveUL(c, pkt)
 }
 
-// receiveUL runs the uplink chain on one UE's sampled block.
+// receiveUL runs the stateful front half of the uplink chain on one UE's
+// sampled block at packet arrival: MIMO perturbation (p.rng draw order is
+// part of the deterministic schedule), channel estimation, demodulation
+// and HARQ combining. The FEC decode is deferred to drainUL so the whole
+// slot's blocks run on the worker pool together.
 func (p *PHY) receiveUL(c *cell, pkt *fronthaul.Packet) {
 	// Identify the slot by matching against a pending UL config. The
 	// wrapped SlotID is resolved against outstanding grants.
@@ -517,35 +584,28 @@ func (p *PHY) receiveUL(c *cell, pkt *fronthaul.Packet) {
 	}
 	c.ulSeen[slot][ue] = true
 
-	iq, err := pkt.IQ()
-	var outcome DecodeOutcome
+	pend := pendingUL{ue: ue, harq: pdu.HARQID, newData: pdu.NewData}
+	iq, err := pkt.AppendIQ(p.iqBuf[:0])
+	var snrDB float64
 	if err == nil {
+		p.iqBuf = iq
 		p.applyMIMOError(c, ue, iq)
-		outcome = c.codec.DecodeBlock(iq, slot, ue, pdu.Alloc.Mod,
-			c.pool, pdu.HARQID, pdu.NewData, c.iters)
-		if p.OnULDecode != nil {
-			p.OnULDecode(c.id, ue, pdu.HARQID, pdu.NewData, hashTB(pkt.Aux), outcome.OK)
-		}
+		pend.pb = c.codec.PrepareBlock(iq, slot, ue, pdu.Alloc.Mod,
+			c.pool, pdu.HARQID, pdu.NewData)
+		pend.hadIQ = true
+		pend.tbHash = hashTB(pkt.Aux)
+		pend.aux = pkt.Aux
+		snrDB = pend.pb.SNRdB
 	}
-	p.Stats.WorkUnits += uint64(outcome.WorkUnits)
 
 	filter := c.snr[ue]
 	if filter == nil {
 		filter = &harq.SNRFilter{}
 		c.snr[ue] = filter
 	}
-	avg := filter.Observe(outcome.SNRdB)
+	pend.snrAvg = filter.Observe(snrDB)
 
-	res := ulResult{
-		crc: fapi.CRCResult{UEID: ue, HARQID: pdu.HARQID, OK: outcome.OK, SNRdB: float32(avg)},
-	}
-	if outcome.OK {
-		p.Stats.DecodeOK++
-		res.payload = append([]byte(nil), pkt.Aux...)
-	} else {
-		p.Stats.DecodeFail++
-	}
-	c.ulResults[slot] = append(c.ulResults[slot], res)
+	c.ulPending[slot] = append(c.ulPending[slot], pend)
 }
 
 // matchULSlot resolves a wrapped SlotID against pending UL configs.
@@ -559,8 +619,12 @@ func (c *cell) matchULSlot(sid fronthaul.SlotID) (uint64, *fapi.ULConfig) {
 	return 0, nil
 }
 
-// drainUL completes the slot's uplink pipeline: emits RX_DATA for decoded
-// TBs and a CRC.indication covering every granted UE (DTX = CRC fail).
+// drainUL completes the slot's uplink pipeline: FEC-decodes the slot's
+// prepared blocks across the worker pool, merges the outcomes in
+// deterministic (UE, HARQ) order, then emits RX_DATA for decoded TBs and a
+// CRC.indication covering every granted UE (DTX = CRC fail). Virtual time
+// is frozen while the workers run — drainUL is one event, and the engine
+// only resumes after every decode of the batch has landed.
 func (p *PHY) drainUL(cellID uint16, slot uint64) {
 	if p.crashed {
 		return
@@ -573,17 +637,50 @@ func (p *PHY) drainUL(cellID uint16, slot uint64) {
 	if ulCfg == nil {
 		return
 	}
-	results := c.ulResults[slot]
+	pending := c.ulPending[slot]
 	seen := c.ulSeen[slot]
 
+	// Ordered merge: sort by (UE, HARQ) so downstream effects (HARQ acks,
+	// CRC list order, stats) are independent of fronthaul arrival order —
+	// and trivially independent of worker scheduling.
+	sort.SliceStable(pending, func(i, j int) bool {
+		if pending[i].ue != pending[j].ue {
+			return pending[i].ue < pending[j].ue
+		}
+		return pending[i].harq < pending[j].harq
+	})
+
+	// Parallel part: pure compute only. DecodePrepared touches no HARQ,
+	// RNG, codec or engine state; results land by index.
+	outcomes := make([]DecodeOutcome, len(pending))
+	iters := c.iters
+	par.ForEach(len(pending), func(i int) {
+		if pending[i].hadIQ {
+			outcomes[i] = c.codec.DecodePrepared(&pending[i].pb, iters)
+		}
+	})
+
+	// Sequential merge, back on the event-loop goroutine.
 	crcs := make([]fapi.CRCResult, 0, len(ulCfg.PDUs))
 	var payloads []fapi.TBPayload
-	for _, res := range results {
-		crcs = append(crcs, res.crc)
-		if res.crc.OK {
+	for i := range pending {
+		pd := &pending[i]
+		out := outcomes[i]
+		if pd.hadIQ && p.OnULDecode != nil {
+			p.OnULDecode(c.id, pd.ue, pd.harq, pd.newData, pd.tbHash, out.OK)
+		}
+		c.codec.FinishPrepared(&pd.pb, out, c.pool, pd.ue, pd.harq)
+		p.Stats.WorkUnits += uint64(out.WorkUnits)
+		crcs = append(crcs, fapi.CRCResult{
+			UEID: pd.ue, HARQID: pd.harq, OK: out.OK, SNRdB: float32(pd.snrAvg),
+		})
+		if out.OK {
+			p.Stats.DecodeOK++
 			payloads = append(payloads, fapi.TBPayload{
-				UEID: res.crc.UEID, HARQID: res.crc.HARQID, Data: res.payload,
+				UEID: pd.ue, HARQID: pd.harq, Data: append([]byte(nil), pd.aux...),
 			})
+		} else {
+			p.Stats.DecodeFail++
 		}
 	}
 	for _, pdu := range ulCfg.PDUs {
@@ -605,7 +702,7 @@ func (p *PHY) drainUL(cellID uint16, slot uint64) {
 	if len(crcs) > 0 {
 		p.fapiOut(&fapi.CRCIndication{CellID: cellID, Slot: slot, Results: crcs})
 	}
-	delete(c.ulResults, slot)
+	delete(c.ulPending, slot)
 	delete(c.ulSeen, slot)
 }
 

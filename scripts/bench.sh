@@ -1,0 +1,67 @@
+#!/bin/sh
+# Benchmark regression harness: runs the benchmark suite with -benchmem and
+# records per-benchmark mean ns/op, B/op and allocs/op into a dated JSON
+# file, so successive PRs can diff kernel and end-to-end performance.
+#
+# Usage: scripts/bench.sh [go-bench-regex]
+# Env:
+#   COUNT=5            samples per benchmark (go test -count)
+#   BENCHTIME=         forwarded to -benchtime when set (e.g. 1x, 100ms)
+#   OUT=BENCH_....json output file (default BENCH_<date>.json)
+#   WORKERS=           sets SLINGSHOT_WORKERS for the run (recorded in meta)
+set -eu
+
+cd "$(dirname "$0")/.."
+PATTERN="${1:-.}"
+COUNT="${COUNT:-5}"
+OUT="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
+
+ARGS="-run ^\$ -bench $PATTERN -benchmem -count $COUNT"
+if [ -n "${BENCHTIME:-}" ]; then
+    ARGS="$ARGS -benchtime $BENCHTIME"
+fi
+if [ -n "${WORKERS:-}" ]; then
+    export SLINGSHOT_WORKERS="$WORKERS"
+fi
+
+TXT="$(mktemp)"
+trap 'rm -f "$TXT"' EXIT
+
+# shellcheck disable=SC2086
+go test $ARGS ./... | tee "$TXT"
+
+awk -v date="$(date +%Y-%m-%d)" \
+    -v goversion="$(go env GOVERSION)" \
+    -v count="$COUNT" \
+    -v benchtime="${BENCHTIME:-default}" \
+    -v workers="${SLINGSHOT_WORKERS:-}" '
+/^Benchmark/ && /ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)          # strip the GOMAXPROCS suffix
+    sub(/^Benchmark/, "", name)
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")      { ns[name] += $(i-1); }
+        if ($(i) == "B/op")       { bytes[name] += $(i-1); }
+        if ($(i) == "allocs/op")  { allocs[name] += $(i-1); }
+    }
+    if (!(name in n)) order[no++] = name
+    n[name]++
+}
+END {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"count\": %d,\n", count
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"slingshot_workers\": \"%s\",\n", workers
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < no; i++) {
+        name = order[i]
+        printf "    {\"name\": \"%s\", \"samples\": %d, \"ns_op\": %.1f, \"b_op\": %.1f, \"allocs_op\": %.2f}%s\n", \
+            name, n[name], ns[name] / n[name], bytes[name] / n[name], \
+            allocs[name] / n[name], (i < no - 1) ? "," : ""
+    }
+    printf "  ]\n}\n"
+}' "$TXT" > "$OUT"
+
+echo "wrote $OUT"

@@ -13,11 +13,22 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test -race =="
-go test -race ./...
+echo "== go test -race (sequential schedule, SLINGSHOT_WORKERS=1) =="
+SLINGSHOT_WORKERS=1 go test -race ./...
+
+echo "== chaos soak under race detector (SLINGSHOT_WORKERS=4) =="
+# The parallel lane: seed-sharded soak plus per-slot worker-pool decode,
+# all under the race detector. Catches data races the sequential schedule
+# cannot reach.
+SLINGSHOT_WORKERS=4 go test -race ./internal/chaos -run TestChaosSoak -chaos.seeds 10 -count=1
 
 echo "== chaos soak (25 seeds) =="
 go test ./internal/chaos -run TestChaosSoak -chaos.seeds 25
+
+echo "== bench smoke (-benchtime=1x) =="
+# One iteration of every benchmark: asserts the bench harness itself and
+# the benchmarks' setup code stay healthy without paying for real timing.
+go test -run '^$' -bench . -benchtime=1x ./... > /dev/null
 
 echo "== fuzz smoke (${FUZZTIME}/target) =="
 for target in \
