@@ -1,12 +1,15 @@
 // Command experiments regenerates the tables and figures of the paper's
 // evaluation (§8). Each experiment builds its own deployment, runs it on
-// virtual time, and prints the rows/series the paper reports.
+// virtual time, and prints the rows/series the paper reports. It can also
+// run a single traced chaos schedule and export its cross-layer event
+// trace for chrome://tracing.
 //
 // Usage:
 //
 //	experiments -list
 //	experiments -run fig8
 //	experiments -run all -scale 0.5
+//	experiments -chaos light -seed 5 -trace chaos.json
 package main
 
 import (
@@ -14,16 +17,29 @@ import (
 	"fmt"
 	"os"
 
+	"slingshot/internal/chaos"
 	"slingshot/internal/experiments"
 )
 
 func main() {
 	var (
-		run   = flag.String("run", "", "experiment id to run, or 'all'")
-		scale = flag.Float64("scale", 1.0, "duration scale in (0,1]; 1 = paper-scale")
-		list  = flag.Bool("list", false, "list experiment ids")
+		run       = flag.String("run", "", "experiment id to run, or 'all'")
+		scale     = flag.Float64("scale", 1.0, "duration scale in (0,1]; 1 = paper-scale")
+		list      = flag.Bool("list", false, "list experiment ids")
+		chaosProf = flag.String("chaos", "", "run one traced chaos schedule with this profile (light, default, heavy) instead of an experiment")
+		seed      = flag.Uint64("seed", 1, "chaos schedule seed (with -chaos)")
+		tracePath = flag.String("trace", "", "write the chaos run's Chrome trace_event JSON here (with -chaos)")
 	)
 	flag.Parse()
+
+	if *chaosProf != "" {
+		runTracedChaos(*chaosProf, *seed, *tracePath)
+		return
+	}
+	if *tracePath != "" {
+		fmt.Fprintln(os.Stderr, "-trace requires -chaos (experiments build many deployments; only chaos runs are traced)")
+		os.Exit(2)
+	}
 
 	if *list || *run == "" {
 		fmt.Println("available experiments:")
@@ -31,7 +47,7 @@ func main() {
 			fmt.Printf("  %-8s %s\n", id, experiments.Title(id))
 		}
 		if *run == "" && !*list {
-			fmt.Println("\nuse -run <id> or -run all")
+			fmt.Println("\nuse -run <id>, -run all, or -chaos <profile>")
 		}
 		return
 	}
@@ -47,4 +63,38 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(r)
+}
+
+// runTracedChaos executes one seeded chaos schedule with event tracing on,
+// prints the invariant report (which embeds the flight-recorder dump when
+// an invariant broke) and the live counters, and optionally exports the
+// event ring as Chrome trace_event JSON.
+func runTracedChaos(profile string, seed uint64, tracePath string) {
+	p, ok := chaos.ByName(profile)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown chaos profile %q (have light, default, heavy)\n", profile)
+		os.Exit(2)
+	}
+	rep, rec := chaos.RunTraced(seed, p)
+	fmt.Print(rep.String())
+	fmt.Printf("trace: %d events captured (%d retained)\n", rec.Total(), rec.Len())
+	fmt.Print(rec.Metrics().Exposition())
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		if err := rec.WriteChrome(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("chrome trace written to %s\n", tracePath)
+	}
+	if rep.Err() != nil {
+		os.Exit(1)
+	}
 }

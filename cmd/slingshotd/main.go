@@ -4,16 +4,18 @@
 //
 // Usage:
 //
-//	slingshotd [-seconds 4] [-baseline] [-kill-at 1.5] [-migrate-at 3]
+//	slingshotd [-seconds 4] [-baseline] [-kill-at 1.5] [-migrate-at 3] [-trace out.json]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"slingshot/internal/core"
 	"slingshot/internal/orion"
 	"slingshot/internal/sim"
+	"slingshot/internal/trace"
 	"slingshot/internal/traffic"
 	"slingshot/internal/ue"
 )
@@ -25,11 +27,17 @@ func main() {
 		killAt    = flag.Float64("kill-at", 2.5, "kill the active PHY at this time (0 = never)")
 		migrateAt = flag.Float64("migrate-at", 1.2, "planned migration at this time (0 = never; Slingshot only)")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
+		tracePath = flag.String("trace", "", "record cross-layer events and write a Chrome trace_event JSON here (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		rec = trace.NewRecorder(0)
+		cfg.Trace = rec
+	}
 	var d *core.Deployment
 	mode := "slingshot"
 	if *baseline {
@@ -116,5 +124,23 @@ func main() {
 	for id, u := range d.UEs {
 		say("UE %d (%s): state=%v attaches=%d rlfs=%d delivered=%d pkts",
 			id, u.Cfg.Name, u.State(), u.Stats.Attaches, u.Stats.RLFs, received[id])
+	}
+
+	if rec != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		if err := rec.WriteChrome(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		say("trace: %d events captured (%d retained), chrome trace written to %s",
+			rec.Total(), rec.Len(), *tracePath)
+		fmt.Print(rec.Metrics().Exposition())
 	}
 }

@@ -71,6 +71,13 @@ func TestReportsInvariantToWorkerCount(t *testing.T) {
 		{"fig8", func() (string, error) { return RunExperiment("fig8", 0.5) }},
 		{"chaos", func() (string, error) { return Chaos(5, "light") }},
 		{"sec82", func() (string, error) { return RunExperiment("sec82", 0.5) }},
+		// The serialized event trace (not just the report) must also be
+		// byte-identical: emission happens only on the event-loop goroutine,
+		// so worker-pool width cannot reorder or drop events.
+		{"chaos-trace", func() (string, error) {
+			_, tr, err := ChaosTraced(5, "light")
+			return tr, err
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

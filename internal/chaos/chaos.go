@@ -14,10 +14,12 @@ import (
 	"strings"
 
 	"slingshot/internal/core"
+	"slingshot/internal/fapi"
 	"slingshot/internal/fronthaul"
 	"slingshot/internal/netmodel"
 	"slingshot/internal/phy"
 	"slingshot/internal/sim"
+	"slingshot/internal/trace"
 )
 
 // Traffic direction tags in the sequence-stamped chaos packets.
@@ -66,6 +68,13 @@ type interceptor struct {
 	rng   *sim.RNG
 	inner netmodel.Receiver
 
+	// rec records each perturbation as a fh-perturb event; cell and dir
+	// (0=uplink, 1=downlink) locate the tapped cable. Frame delivery runs
+	// on the event-loop goroutine, so emission is worker-count invariant.
+	rec  *trace.Recorder
+	cell uint16
+	dir  uint8
+
 	lossProb    float64
 	corruptProb float64
 	reorderProb float64
@@ -83,11 +92,13 @@ func (ic *interceptor) HandleFrame(f *netmodel.Frame) {
 	}
 	if ic.lossProb > 0 && ic.rng.Bool(ic.lossProb) {
 		ic.Dropped++
+		ic.perturb("loss", ic.Dropped, "chaos.fh.dropped")
 		return
 	}
 	if ic.corruptProb > 0 && ic.rng.Bool(ic.corruptProb) {
 		if g := corruptIQ(f, ic.rng); g != nil {
 			ic.Corrupted++
+			ic.perturb("corrupt", ic.Corrupted, "chaos.fh.corrupted")
 			f = g
 		}
 	}
@@ -96,6 +107,7 @@ func (ic *interceptor) HandleFrame(f *netmodel.Frame) {
 		// Hold the frame long enough for later frames to overtake it.
 		delay += 40 * sim.Microsecond
 		ic.Reordered++
+		ic.perturb("reorder", ic.Reordered, "chaos.fh.reordered")
 	}
 	if delay > 0 {
 		held := f
@@ -103,6 +115,16 @@ func (ic *interceptor) HandleFrame(f *netmodel.Frame) {
 		return
 	}
 	ic.inner.HandleFrame(f)
+}
+
+// perturb records one applied perturbation in the trace and bumps its
+// per-family counter.
+func (ic *interceptor) perturb(family string, cum uint64, counter string) {
+	if ic.rec == nil {
+		return
+	}
+	ic.rec.EmitLabeled(trace.KindFronthaulLoss, family, 0, ic.cell, 0, uint64(ic.dir), cum)
+	ic.rec.Metrics().Counter(counter).Inc()
 }
 
 // corruptIQ flips 1-3 bytes inside the U-plane IQ payload region of an
@@ -170,6 +192,13 @@ type Report struct {
 	Bins       []TrafficBin
 
 	Fingerprint uint64
+
+	// Flight is the flight-recorder dump captured at the first invariant
+	// violation: the trace timeline leading up to it plus counter deltas
+	// since the checker attached. Empty on clean runs. It is rendered after
+	// the fingerprint line and excluded from the fingerprint itself, so
+	// clean-run fingerprints are unchanged by tracing.
+	Flight string
 }
 
 func (r *Report) addBin(at sim.Time, n int, down bool) {
@@ -226,9 +255,14 @@ func (r *Report) seriesDigest() uint64 {
 	return h
 }
 
-// String renders the report with its fingerprint line.
+// String renders the report with its fingerprint line, followed by the
+// flight-recorder dump when the run violated an invariant.
 func (r *Report) String() string {
-	return r.body() + fmt.Sprintf("fingerprint: %016x\n", r.Fingerprint)
+	s := r.body() + fmt.Sprintf("fingerprint: %016x\n", r.Fingerprint)
+	if r.TotalViolations > 0 && r.Flight != "" {
+		s += r.Flight
+	}
+	return s
 }
 
 // Err returns a non-nil error when any invariant was violated.
@@ -264,6 +298,7 @@ type runner struct {
 	eng  *sim.Engine
 	chk  *Checker
 	rep  *Report
+	rec  *trace.Recorder
 
 	cells []uint16
 	ues   []uint16
@@ -276,8 +311,19 @@ type runner struct {
 // Run executes one chaos schedule and returns its report. The same
 // (seed, profile) pair reproduces the identical run.
 func Run(seed uint64, p Profile) *Report {
+	rep, _ := RunTraced(seed, p)
+	return rep
+}
+
+// RunTraced is Run, additionally returning the run's trace recorder: the
+// full cross-layer event ring and counter registry the flight recorder
+// samples from. Every chaos run records (the recorder is how violations
+// get explained); RunTraced just exposes it for export and the
+// determinism tests.
+func RunTraced(seed uint64, p Profile) (*Report, *trace.Recorder) {
 	cfg := core.DefaultConfig()
 	cfg.Seed = seed
+	cfg.Trace = trace.NewRecorder(0)
 	if p.Kills+p.StandbyKills > 0 {
 		cfg.SpareServer = 3
 	}
@@ -303,6 +349,7 @@ func Run(seed uint64, p Profile) *Report {
 		p:    p,
 		d:    d,
 		eng:  d.Engine,
+		rec:  cfg.Trace,
 		taps: make(map[uint16][2]*interceptor),
 		ulSeq: make(map[uint16]uint64),
 		dlSeq: make(map[uint16]uint64),
@@ -335,7 +382,7 @@ func Run(seed uint64, p Profile) *Report {
 	d.Run(p.Horizon)
 	d.Stop()
 	r.chk.Finish()
-	return r.finalize()
+	return r.finalize(), r.rec
 }
 
 func ueIDs(specs []core.UESpec) []uint16 {
@@ -353,9 +400,11 @@ func (r *runner) installInterceptors(crng *sim.RNG) {
 		addr := netmodel.RUAddr(cell)
 		up := r.d.Links[addr]        // RU → switch
 		down := r.d.Switch.Port(addr) // switch → RU
-		icUp := &interceptor{eng: r.eng, rng: crng.Fork(0x100 + uint64(cell)), inner: up.To}
+		icUp := &interceptor{eng: r.eng, rng: crng.Fork(0x100 + uint64(cell)), inner: up.To,
+			rec: r.rec, cell: cell, dir: 0}
 		up.To = icUp
-		icDown := &interceptor{eng: r.eng, rng: crng.Fork(0x200 + uint64(cell)), inner: down.To}
+		icDown := &interceptor{eng: r.eng, rng: crng.Fork(0x200 + uint64(cell)), inner: down.To,
+			rec: r.rec, cell: cell, dir: 1}
 		down.To = icDown
 		r.taps[cell] = [2]*interceptor{icUp, icDown}
 	}
@@ -471,6 +520,19 @@ func (r *runner) scheduleFaults(crng *sim.RNG) {
 		}
 	}
 
+	if p.RogueSlotInds > 0 {
+		st := crng.Fork(9)
+		lo, hi := p.Settle, p.Horizon-150*sim.Millisecond
+		if hi <= lo {
+			hi = lo + 20*sim.Millisecond
+		}
+		for i := 0; i < p.RogueSlotInds; i++ {
+			t := lo + sim.Time(st.Float64()*float64(hi-lo))
+			cell := r.cells[st.Intn(len(r.cells))]
+			r.eng.At(t, "chaos.rogue-slot", func() { r.execRogueSlot(cell) })
+		}
+	}
+
 	r.scheduleBursts(crng.Fork(5), p.LossBursts, "loss",
 		func(ic *interceptor) { ic.lossProb = p.LossProb },
 		func(ic *interceptor) { ic.lossProb = 0 })
@@ -504,6 +566,7 @@ func (r *runner) scheduleBursts(st *sim.RNG, count int, kind string, arm, disarm
 		r.eng.At(t, "chaos.burst", func() {
 			ic := r.taps[cell][dir]
 			arm(ic)
+			r.rec.EmitLabeled(trace.KindChaosFault, kind, 0, cell, 0, uint64(dir), 0)
 			r.event("%s burst on cell %d %s fronthaul (%.1fms)",
 				kind, cell, dirName[dir], float64(p.BurstLen)/float64(sim.Millisecond))
 			r.eng.After(p.BurstLen, "chaos.burst-end", func() { disarm(ic) })
@@ -529,6 +592,7 @@ func (r *runner) execKill(standby bool) {
 		return
 	}
 	r.event("SIGKILL %s PHY on server %d", kind, server)
+	r.rec.EmitLabeled(trace.KindChaosFault, "kill", server, cell, 0, 0, 0)
 	r.d.KillServer(server)
 	r.eng.After(15*sim.Millisecond, "chaos.reprovision", r.reprovision)
 }
@@ -562,7 +626,24 @@ func (r *runner) execMigrate(cell uint16) {
 		r.event("cell %d planned migration refused (%v)", cell, err)
 		return
 	}
+	r.rec.EmitLabeled(trace.KindChaosFault, "migrate", 0, cell, 0, boundary, 0)
 	r.event("cell %d planned migration armed at slot %d", cell, boundary)
+}
+
+// execRogueSlot replays a stale slot indication into the L2-side Orion
+// tap, deliberately violating TTI monotonicity — a deterministic drill
+// for the invariant checker and its flight recorder (never drawn by the
+// stock profiles).
+func (r *runner) execRogueSlot(cell uint16) {
+	slot := uint64(r.eng.Now() / phy.TTI)
+	if slot > 10 {
+		slot -= 10
+	}
+	r.rec.EmitLabeled(trace.KindChaosFault, "rogue-slot", 0, cell, 0, slot, 0)
+	r.event("cell %d rogue stale slot indication replayed (slot %d)", cell, slot)
+	if tap := r.d.L2Orion.ToL2; tap != nil {
+		tap(&fapi.SlotIndication{CellID: cell, Slot: slot})
+	}
 }
 
 func (r *runner) execUpgrade() {
@@ -573,6 +654,7 @@ func (r *runner) execUpgrade() {
 	// UpgradeL2 rewires the Orion→L2 tap to the fresh process, which
 	// removes the checker's wrap; re-arm it.
 	r.chk.TapL2()
+	r.rec.EmitLabeled(trace.KindChaosFault, "l2-upgrade", 0, 0, 0, 0, 0)
 	r.event("l2 upgraded in place, state preserved")
 }
 
@@ -583,6 +665,7 @@ func (r *runner) execGlitch(cell uint16) {
 	radio := r.d.RUs[cell]
 	dur := sim.Time(r.p.GlitchSlots) * phy.TTI
 	radio.Stop()
+	r.rec.EmitLabeled(trace.KindChaosFault, "ru-glitch", 0, cell, 0, uint64(r.p.GlitchSlots), 0)
 	r.event("cell %d RU glitch: slot clock stopped for %d slots", cell, r.p.GlitchSlots)
 	r.eng.After(dur, "chaos.glitch-end", func() {
 		radio.Start()
@@ -594,6 +677,7 @@ func (r *runner) finalize() *Report {
 	rep := r.rep
 	rep.Violations = r.chk.Violations()
 	rep.TotalViolations = r.chk.Total
+	rep.Flight = r.chk.Flight()
 	rep.Migrations = len(r.d.Switch.MigrationLog)
 	rep.Detections = len(r.d.Switch.DetectionLog)
 	for _, cell := range r.cells {

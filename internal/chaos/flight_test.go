@@ -1,0 +1,95 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"slingshot/internal/par"
+)
+
+// rogueProfile is Light plus one deliberately injected stale slot
+// indication — the deterministic way to force a tti-regression violation
+// and exercise the flight recorder end to end.
+func rogueProfile() Profile {
+	p := Light()
+	p.Name = "light+rogue"
+	p.RogueSlotInds = 1
+	return p
+}
+
+// TestFlightRecorderOnForcedViolation forces an invariant violation and
+// checks the report carries a flight dump: a virtual-time timeline of the
+// events leading up to the breach plus counter deltas, byte-identical
+// across worker-pool widths.
+func TestFlightRecorderOnForcedViolation(t *testing.T) {
+	runAt := func(workers int) *Report {
+		prev := par.SetWorkers(workers)
+		defer par.SetWorkers(prev)
+		return Run(11, rogueProfile())
+	}
+
+	rep := runAt(1)
+	if rep.TotalViolations == 0 {
+		t.Fatalf("rogue slot indication produced no violation:\n%s", rep)
+	}
+	if rep.Flight == "" {
+		t.Fatal("violating run produced no flight dump")
+	}
+	if !strings.Contains(rep.String(), rep.Flight) {
+		t.Fatal("report text does not include the flight dump")
+	}
+
+	// The dump: header, then one timeline line per event, then deltas.
+	lines := strings.Split(strings.TrimRight(rep.Flight, "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "flight recorder: last ") {
+		t.Fatalf("unexpected dump header: %q", lines[0])
+	}
+	events := 0
+	for _, ln := range lines[1:] {
+		if strings.HasPrefix(ln, "[") && strings.Contains(ln, "ms]") {
+			events++
+		}
+	}
+	if events < 20 {
+		t.Fatalf("flight dump holds %d timeline events, want >= 20:\n%s", events, rep.Flight)
+	}
+	if !strings.Contains(rep.Flight, "chaos-fault") || !strings.Contains(rep.Flight, "rogue-slot") {
+		t.Errorf("flight dump does not show the injected fault:\n%s", rep.Flight)
+	}
+	if !strings.Contains(rep.Flight, "invariant") || !strings.Contains(rep.Flight, "tti-regression") {
+		t.Errorf("flight dump does not show the violation event:\n%s", rep.Flight)
+	}
+	if !strings.Contains(rep.Flight, "counter deltas:") {
+		t.Errorf("flight dump has no counter deltas:\n%s", rep.Flight)
+	}
+
+	// Worker-count invariance: the whole report, dump included, must be
+	// byte-identical when the PHY pipeline fans out across 4 workers.
+	rep4 := runAt(4)
+	if rep.String() != rep4.String() {
+		t.Fatalf("flight report differs across worker counts:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+			rep, rep4)
+	}
+}
+
+// TestCleanRunHasNoFlightDump pins the clean-run report format: tracing is
+// always on inside chaos runs, but a run without violations must render
+// exactly as before (fingerprint line last, no dump).
+func TestCleanRunHasNoFlightDump(t *testing.T) {
+	rep, rec := RunTraced(7, Light())
+	if rep.TotalViolations != 0 {
+		t.Fatalf("light profile seed 7 unexpectedly violated:\n%s", rep)
+	}
+	if rep.Flight != "" {
+		t.Fatalf("clean run captured a flight dump:\n%s", rep.Flight)
+	}
+	if !strings.HasSuffix(rep.String(), "\n") || !strings.Contains(rep.String(), "fingerprint: ") {
+		t.Fatalf("report lost its fingerprint line:\n%s", rep)
+	}
+	if rec == nil || rec.Total() == 0 {
+		t.Fatal("chaos run recorded no trace events")
+	}
+	if rec.Metrics().Counter("phy.decode.ok").Value() == 0 {
+		t.Error("phy.decode.ok counter never moved during a traffic-bearing run")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"slingshot/internal/phy"
 	"slingshot/internal/sim"
 	"slingshot/internal/switchsim"
+	"slingshot/internal/trace"
 	"slingshot/internal/ue"
 )
 
@@ -48,6 +49,10 @@ const maxFailoverGap = 3
 // maxRecorded bounds the retained violation list (Total keeps counting).
 const maxRecorded = 64
 
+// flightEvents is how much timeline the flight recorder dumps: the last
+// events preceding (and including) the first violation.
+const flightEvents = 64
+
 type harqKey struct {
 	server uint8
 	cell   uint16
@@ -64,6 +69,13 @@ type Checker struct {
 	// Total counts all violations; the recorded list is capped.
 	Total      int
 	violations []Violation
+
+	// rec is the deployment's trace recorder (nil when tracing is off);
+	// base is the counter snapshot taken at Attach so the flight dump can
+	// show what moved. flight holds the dump captured at first violation.
+	rec    *trace.Recorder
+	base   trace.Snapshot
+	flight string
 
 	lastSlotInd  map[uint16]uint64
 	lastFailover map[uint16]sim.Time
@@ -92,6 +104,8 @@ func Attach(d *core.Deployment) *Checker {
 		dlLast:       make(map[uint16]uint64),
 		ulCount:      make(map[uint16]uint64),
 		dlCount:      make(map[uint16]uint64),
+		rec:          d.Cfg.Trace,
+		base:         d.Cfg.Trace.Metrics().Snapshot(),
 	}
 
 	if d.Slingshot {
@@ -181,10 +195,21 @@ func (c *Checker) violate(invariant string, format string, args ...any) {
 			Detail:    fmt.Sprintf(format, args...),
 		})
 	}
+	c.rec.EmitLabeled(trace.KindInvariant, invariant, 0, 0, 0, uint64(c.Total), 0)
+	if c.Total == 1 && c.rec != nil {
+		// First breach: freeze the timeline that led here. Later breaches
+		// keep counting but the dump explains the earliest one — by the
+		// time the run ends the ring has long since evicted this window.
+		c.flight = c.rec.FlightDump(flightEvents, c.base)
+	}
 }
 
 // Violations returns the recorded breaches (capped at maxRecorded).
 func (c *Checker) Violations() []Violation { return c.violations }
+
+// Flight returns the flight-recorder dump captured at the first violation
+// (empty when the run was clean or tracing was off).
+func (c *Checker) Flight() string { return c.flight }
 
 // DroppedTTIs returns the total slot-indication gap observed for a cell.
 func (c *Checker) DroppedTTIs(cell uint16) uint64 { return c.droppedTTIs[cell] }

@@ -35,6 +35,12 @@ type Profile struct {
 	RUGlitches  int
 	GlitchSlots int
 
+	// RogueSlotInds injects stale slot indications into the L2-side Orion
+	// tap, violating TTI monotonicity on purpose. Zero in every stock
+	// profile: the fault exists to exercise the invariant checker and its
+	// flight recorder deterministically (tests and drills only).
+	RogueSlotInds int
+
 	// Fronthaul perturbation bursts, each lasting BurstLen: random loss,
 	// IQ corruption, reordering, and added link latency.
 	LossBursts    int
@@ -163,6 +169,7 @@ func (p Profile) Scale(s float64) Profile {
 	p.Migrations = scaleN(p.Migrations)
 	p.L2Upgrades = scaleN(p.L2Upgrades)
 	p.RUGlitches = scaleN(p.RUGlitches)
+	p.RogueSlotInds = scaleN(p.RogueSlotInds)
 	p.LossBursts = scaleN(p.LossBursts)
 	p.CorruptBursts = scaleN(p.CorruptBursts)
 	p.ReorderBursts = scaleN(p.ReorderBursts)

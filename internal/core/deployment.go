@@ -18,6 +18,7 @@ import (
 	"slingshot/internal/ru"
 	"slingshot/internal/sim"
 	"slingshot/internal/switchsim"
+	"slingshot/internal/trace"
 	"slingshot/internal/ue"
 )
 
@@ -84,6 +85,11 @@ type Config struct {
 	L2Tweak func(*l2.Config)
 	// PHYTweak adjusts each PHY's configuration before construction.
 	PHYTweak func(*phy.Config)
+
+	// Trace, when non-nil, is the deployment's observability recorder: the
+	// builder binds it to the engine and threads it through every PHY, HARQ
+	// pool, L2 and RLC receiver. Nil disables tracing at zero cost.
+	Trace *trace.Recorder
 }
 
 // DefaultConfig returns the three-server testbed configuration the paper
@@ -173,8 +179,21 @@ func NewSlingshot(cfg Config) *Deployment {
 		cfg.L2Tweak(&l2cfg)
 	}
 	d.L2 = l2.New(d.Engine, l2cfg)
+	d.L2.Recorder = cfg.Trace
 	d.activeL2 = d.L2
 	d.L2Orion = orion.New(d.Engine, orion.DefaultConfig(cfg.L2Server, orion.RoleL2Side))
+	if rec := cfg.Trace; rec != nil {
+		// Record failover / planned-migration transitions. Installed at
+		// construction so later observers (chaos checker, experiment hooks)
+		// chain on top of it.
+		d.L2Orion.OnMigration = func(ev orion.MigrationEvent) {
+			kind := trace.KindMigration
+			if ev.Failover {
+				kind = trace.KindFailover
+			}
+			rec.Emit(kind, cfg.L2Server, ev.Cell, 0, uint64(ev.ToServer), ev.AtSlot)
+		}
+	}
 	d.L2Orion.AddCell(cfg.Cell, cfg.PrimaryServer, cfg.SecondaryServer)
 	link := d.endpointLink(d.L2Orion.Addr, d.L2Orion)
 	d.L2Orion.SendFrame = link.Send
@@ -229,6 +248,7 @@ func newCommon(cfg Config) *Deployment {
 		Links:     make(map[netmodel.Addr]*netmodel.Link),
 		cellSeeds: make(map[uint16]uint64),
 	}
+	cfg.Trace.Bind(e)
 	return d
 }
 
@@ -242,6 +262,7 @@ func (d *Deployment) addPHYServer(server uint8) {
 		d.Cfg.PHYTweak(&pcfg)
 	}
 	p := phy.New(d.Engine, pcfg, d.RNG.Fork(uint64(server)))
+	p.Trace = d.Cfg.Trace
 	phyLink := d.endpointLink(p.Addr, p)
 	p.SendFronthaul = phyLink.Send
 
@@ -468,6 +489,7 @@ func (d *Deployment) UpgradeL2(preserveState bool) (*l2.L2, error) {
 		d.Cfg.L2Tweak(&l2cfg)
 	}
 	fresh := l2.New(d.Engine, l2cfg)
+	fresh.Recorder = d.Cfg.Trace
 	fresh.SendFAPI = d.L2Orion.FromL2
 	fresh.OnUplinkPacket = d.upFn
 	d.L2Orion.ToL2 = fresh.HandleFAPI

@@ -105,6 +105,19 @@ func (p *Packet) Serialize() []byte {
 	return out
 }
 
+// TraceArgs packs the packet's identity into the two scalar arguments of
+// a trace event (kinds fh-tx / fh-rx): a carries the wrapped slot index,
+// message type and sequence id; b the on-wire byte count. Keeping the
+// packing next to the wire format means every emission site across phy,
+// ru and chaos renders identically in the timeline.
+func (p *Packet) TraceArgs() (a, b uint64) {
+	a = uint64(p.Slot.Index())&0xFFFF |
+		uint64(p.Type&0xF)<<16 |
+		uint64(p.Seq)<<24
+	b = uint64(headerLen + len(p.Payload) + len(p.Aux))
+	return a, b
+}
+
 // Decode parses a wire-format packet. The payload slice aliases data
 // (zero-copy); callers that retain it past the frame's lifetime must copy.
 func Decode(data []byte) (*Packet, error) {

@@ -4,6 +4,8 @@
 // deliberately discards on migration (§4.2 of the paper).
 package harq
 
+import "slingshot/internal/trace"
+
 // MaxProcesses is the number of HARQ processes per UE.
 const MaxProcesses = 16
 
@@ -33,6 +35,15 @@ type Pool struct {
 	// Interrupted counts sequences broken by a Reset while mid-flight —
 	// the paper's "interrupted HARQ seqs" metric in Table 2.
 	Interrupted uint64
+
+	// Trace, when non-nil, records combine/flush events; Server and Cell
+	// locate this pool in the cross-layer timeline. The owning PHY sets
+	// all three at cell configuration. Combine and Reset run only on the
+	// event-loop goroutine (packet arrival / migration landing), so
+	// emission keeps traces worker-count invariant.
+	Trace  *trace.Recorder
+	Server uint8
+	Cell   uint16
 }
 
 // NewPool returns an empty HARQ pool.
@@ -61,6 +72,9 @@ func (p *Pool) Combine(ue uint16, proc uint8, llr []float64, newData bool) []flo
 	}
 	b.TxCount++
 	p.Combined++
+	if p.Trace != nil {
+		p.Trace.Emit(trace.KindHARQCombine, p.Server, p.Cell, ue, uint64(proc), uint64(b.TxCount))
+	}
 	return b.LLR
 }
 
@@ -106,6 +120,9 @@ func (p *Pool) Reset() int {
 		delete(p.buffers, k)
 	}
 	p.Interrupted += uint64(interrupted)
+	if p.Trace != nil {
+		p.Trace.Emit(trace.KindHARQFlush, p.Server, p.Cell, 0, uint64(interrupted), p.Interrupted)
+	}
 	return interrupted
 }
 

@@ -14,6 +14,7 @@ import (
 	"slingshot/internal/phy"
 	"slingshot/internal/rlc"
 	"slingshot/internal/sim"
+	"slingshot/internal/trace"
 )
 
 // Config parameterizes the L2.
@@ -131,6 +132,9 @@ type L2 struct {
 	OnUplinkPacket func(cell, ue uint16, pkt []byte)
 	// Trace, when set, observes scheduler decisions (debugging aid).
 	Trace func(format string, args ...any)
+	// Recorder, when non-nil, records typed observability events (state
+	// snapshot export/import, RLC discards via the per-UE rlc.Rx hookup).
+	Recorder *trace.Recorder
 
 	cells     map[uint16]*cellCtx
 	cellOrder []uint16 // sorted ids: deterministic scheduling order
@@ -194,7 +198,9 @@ func (l *L2) AttachUE(cell, ue uint16) bool {
 	if _, dup := c.ues[ue]; dup {
 		return true
 	}
-	c.ues[ue] = &ueCtx{id: ue, dlTx: rlc.NewTx(), ulRx: rlc.NewRx()}
+	u := &ueCtx{id: ue, dlTx: rlc.NewTx(), ulRx: rlc.NewRx()}
+	u.ulRx.Trace, u.ulRx.Cell, u.ulRx.UE = l.Recorder, cell, ue
+	c.ues[ue] = u
 	c.ueOrder = append(c.ueOrder, ue)
 	return true
 }

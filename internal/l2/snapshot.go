@@ -8,6 +8,8 @@ package l2
 // layer would, letting a replacement L2 take over mid-stream without
 // breaking bearers.
 
+import "slingshot/internal/trace"
+
 // State is an opaque checkpoint of an L2's per-cell hard state.
 type State struct {
 	cells map[uint16]*cellCtx
@@ -61,6 +63,10 @@ func (l *L2) ExportState() *State {
 		}
 		s.cells[id] = nc
 	}
+	if l.Recorder != nil {
+		l.Recorder.Emit(trace.KindSnapshotExport, l.Cfg.ServerID, 0, 0,
+			uint64(len(s.cells)), uint64(s.UECount()))
+	}
 	return s
 }
 
@@ -73,5 +79,14 @@ func (l *L2) ImportState(s *State) {
 	for id, c := range s.cells {
 		l.cells[id] = c
 		l.cellOrder = insertSorted(l.cellOrder, id)
+		// Re-point the cloned RLC receivers at the importing L2's recorder
+		// (the exporter may have had none, or a different one).
+		for _, u := range c.ues {
+			u.ulRx.Trace = l.Recorder
+		}
+	}
+	if l.Recorder != nil {
+		l.Recorder.Emit(trace.KindSnapshotImport, l.Cfg.ServerID, 0, 0,
+			uint64(len(s.cells)), uint64(s.UECount()))
 	}
 }

@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"slingshot/internal/sim"
+)
+
+// TestPercentileEdgeCases drives Percentile through the degenerate sample
+// shapes the experiment harnesses can produce (no observations, a single
+// observation, out-of-range p).
+func TestPercentileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		values []float64
+		p      float64
+		want   float64 // NaN means "expect NaN"
+	}{
+		{"empty-p50", nil, 50, math.NaN()},
+		{"empty-p0", nil, 0, math.NaN()},
+		{"empty-p100", nil, 100, math.NaN()},
+		{"single-p0", []float64{7}, 0, 7},
+		{"single-p50", []float64{7}, 50, 7},
+		{"single-p100", []float64{7}, 100, 7},
+		{"single-below-range", []float64{7}, -5, 7},
+		{"single-above-range", []float64{7}, 250, 7},
+		{"pair-p25", []float64{0, 10}, 25, 2.5},
+		{"pair-below-range", []float64{0, 10}, -1, 0},
+		{"pair-above-range", []float64{0, 10}, 101, 10},
+		{"all-equal-p90", []float64{3, 3, 3, 3}, 90, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewSample()
+			for _, v := range tc.values {
+				s.Add(v)
+			}
+			got := s.Percentile(tc.p)
+			if math.IsNaN(tc.want) {
+				if !math.IsNaN(got) {
+					t.Fatalf("Percentile(%v) = %v, want NaN", tc.p, got)
+				}
+				return
+			}
+			if got != tc.want {
+				t.Fatalf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestMeanStdDevEdgeCases covers empty samples (NaN), single samples
+// (zero spread) and NaN propagation through Mean and StdDev.
+func TestMeanStdDevEdgeCases(t *testing.T) {
+	cases := []struct {
+		name     string
+		values   []float64
+		mean     float64
+		std      float64
+		wantNaNs bool
+	}{
+		{"empty", nil, 0, 0, true},
+		{"single", []float64{4}, 4, 0, false},
+		{"pair", []float64{2, 4}, 3, 1, false},
+		{"nan-observation", []float64{1, math.NaN(), 3}, 0, 0, true},
+		{"inf-observation", []float64{math.Inf(1), 1}, math.Inf(1), 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewSample()
+			for _, v := range tc.values {
+				s.Add(v)
+			}
+			mean, std := s.Mean(), s.StdDev()
+			if tc.wantNaNs {
+				// A poisoned or empty sample must surface as NaN (or the
+				// propagated Inf for the mean), never as a plausible number.
+				if !math.IsNaN(mean) && !math.IsInf(mean, 0) {
+					t.Fatalf("Mean = %v, want NaN/Inf", mean)
+				}
+				if !math.IsNaN(std) {
+					t.Fatalf("StdDev = %v, want NaN", std)
+				}
+				return
+			}
+			if mean != tc.mean {
+				t.Fatalf("Mean = %v, want %v", mean, tc.mean)
+			}
+			if std != tc.std {
+				t.Fatalf("StdDev = %v, want %v", std, tc.std)
+			}
+		})
+	}
+}
+
+// TestCDFDuplicates pins the CDF shape when observations repeat: one
+// point per observation, duplicate values ascending in fraction, final
+// fraction exactly 1.
+func TestCDFDuplicates(t *testing.T) {
+	s := NewSample()
+	for _, v := range []float64{5, 1, 5, 5, 2} {
+		s.Add(v)
+	}
+	pts := s.CDF()
+	if len(pts) != 5 {
+		t.Fatalf("CDF has %d points, want one per observation (5)", len(pts))
+	}
+	wantVals := []float64{1, 2, 5, 5, 5}
+	for i, p := range pts {
+		if p.Value != wantVals[i] {
+			t.Fatalf("point %d value = %v, want %v", i, p.Value, wantVals[i])
+		}
+		if i > 0 && p.Fraction <= pts[i-1].Fraction {
+			t.Fatalf("fractions not strictly increasing at %d: %v then %v",
+				i, pts[i-1].Fraction, p.Fraction)
+		}
+	}
+	if last := pts[len(pts)-1].Fraction; last != 1 {
+		t.Fatalf("final fraction = %v, want 1", last)
+	}
+	// The duplicate run means P(v <= 5) = 1 but P(v <= 4.9) = 0.4: check
+	// the fraction at the first and last duplicate.
+	if pts[2].Fraction != 0.6 || pts[4].Fraction != 1 {
+		t.Fatalf("duplicate fractions = %v, %v; want 0.6, 1", pts[2].Fraction, pts[4].Fraction)
+	}
+	if empty := NewSample().CDF(); len(empty) != 0 {
+		t.Fatalf("empty CDF has %d points", len(empty))
+	}
+}
+
+// TestValuesReturnsSortedCopy checks Values sorts and does not alias the
+// internal slice.
+func TestValuesReturnsSortedCopy(t *testing.T) {
+	s := NewSample()
+	for _, v := range []float64{3, 1, 2} {
+		s.Add(v)
+	}
+	vals := s.Values()
+	if vals[0] != 1 || vals[1] != 2 || vals[2] != 3 {
+		t.Fatalf("Values not sorted: %v", vals)
+	}
+	vals[0] = 99
+	if s.Min() != 1 {
+		t.Fatal("mutating Values() result corrupted the sample")
+	}
+	if got := NewSample().Values(); len(got) != 0 {
+		t.Fatalf("empty Values = %v", got)
+	}
+}
+
+// TestNewTimeSeriesPanicsOnBadWidth pins the constructor contract.
+func TestNewTimeSeriesPanicsOnBadWidth(t *testing.T) {
+	for _, w := range []sim.Time{0, -sim.Millisecond} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTimeSeries(0, %v) did not panic", w)
+				}
+			}()
+			NewTimeSeries(0, w)
+		}()
+	}
+}
+
+// TestExtendToBeforeStart checks ExtendTo ignores times before the origin.
+func TestExtendToBeforeStart(t *testing.T) {
+	ts := NewTimeSeries(10*sim.Millisecond, sim.Millisecond)
+	ts.ExtendTo(5 * sim.Millisecond)
+	if ts.NumBins() != 0 {
+		t.Fatalf("ExtendTo before Start materialized %d bins", ts.NumBins())
+	}
+	ts.ExtendTo(10 * sim.Millisecond)
+	if ts.NumBins() != 1 {
+		t.Fatalf("ExtendTo(Start) materialized %d bins, want 1", ts.NumBins())
+	}
+}

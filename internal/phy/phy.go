@@ -11,6 +11,7 @@ import (
 	"slingshot/internal/netmodel"
 	"slingshot/internal/par"
 	"slingshot/internal/sim"
+	"slingshot/internal/trace"
 )
 
 // Config parameterizes a PHY process.
@@ -106,6 +107,11 @@ type PHY struct {
 	OnULDecode func(cell, ue uint16, harq uint8, newData bool, tbHash uint64, ok bool)
 	// OnSoftDiscard observes DiscardSoftState (migration landing).
 	OnSoftDiscard func()
+	// Trace, when non-nil, records typed observability events (TTI
+	// boundaries, decode outcomes, fronthaul tx/rx, crashes). Emission
+	// happens only on the event-loop goroutine — never inside a par
+	// worker batch — so traces are invariant to SLINGSHOT_WORKERS.
+	Trace *trace.Recorder
 
 	Stats Stats
 
@@ -211,6 +217,9 @@ func (p *PHY) crash(reason string) {
 		p.stopClock()
 		p.stopClock = nil
 	}
+	if p.Trace != nil {
+		p.Trace.EmitLabeled(trace.KindCrash, reason, p.Cfg.ID, 0, 0, 0, 0)
+	}
 	if p.OnCrash != nil {
 		p.OnCrash(reason)
 	}
@@ -248,12 +257,14 @@ func (p *PHY) configure(req *fapi.ConfigRequest) {
 	if iters == 0 {
 		iters = p.Cfg.FECIters
 	}
+	pool := harq.NewPool()
+	pool.Trace, pool.Server, pool.Cell = p.Trace, p.Cfg.ID, req.CellID
 	c := &cell{
 		id:        req.CellID,
 		cfg:       *req,
 		codec:     NewCodec(p.Cfg.CodeK, p.Cfg.CodeN, int(req.MantissaBits), req.Seed),
 		iters:     iters,
-		pool:      harq.NewPool(),
+		pool:      pool,
 		snr:       make(map[uint16]*harq.SNRFilter),
 		mimoTrain: make(map[uint16]int),
 		ulConfigs: make(map[uint64]*fapi.ULConfig),
@@ -327,6 +338,9 @@ func (p *PHY) onSlot() {
 
 func (p *PHY) processSlot(c *cell, slot uint64) {
 	p.Stats.SlotsProcessed++
+	if p.Trace != nil {
+		p.Trace.Emit(trace.KindTTI, p.Cfg.ID, c.id, 0, slot, 0)
+	}
 	p.fapiOut(&fapi.SlotIndication{CellID: c.id, Slot: slot})
 
 	ul := c.ulConfigs[slot]
@@ -432,6 +446,7 @@ func (p *PHY) sendFronthaulAt(delay sim.Time, pkt *fronthaul.Packet, c *cell, vi
 		Payload: pkt.Serialize(),
 		Virtual: virtual,
 	}
+	traceA, traceB := pkt.TraceArgs()
 	p.Engine.After(delay, "phy.fh-tx", func() {
 		if p.crashed {
 			return
@@ -439,6 +454,9 @@ func (p *PHY) sendFronthaulAt(delay sim.Time, pkt *fronthaul.Packet, c *cell, vi
 		if p.SendFronthaul != nil {
 			p.SendFronthaul(frame)
 			p.Stats.FronthaulTx++
+			if p.Trace != nil {
+				p.Trace.Emit(trace.KindFronthaulTx, p.Cfg.ID, c.id, 0, traceA, traceB)
+			}
 		}
 	})
 }
@@ -526,9 +544,16 @@ func (p *PHY) HandleFrame(f *netmodel.Frame) {
 	}
 	pkt, err := fronthaul.Decode(f.Payload)
 	if err != nil {
+		if p.Trace != nil {
+			p.Trace.Metrics().Counter("phy.fh.decode_errors").Inc()
+		}
 		return
 	}
 	p.Stats.FronthaulRx++
+	if p.Trace != nil {
+		a, b := pkt.TraceArgs()
+		p.Trace.Emit(trace.KindFronthaulRx, p.Cfg.ID, pkt.EAxC, pkt.Section, a, b)
+	}
 	c := p.cells[pkt.EAxC]
 	if c == nil || !c.started {
 		return
@@ -661,11 +686,25 @@ func (p *PHY) drainUL(cellID uint16, slot uint64) {
 	})
 
 	// Sequential merge, back on the event-loop goroutine.
+	okBefore, failBefore := p.Stats.DecodeOK, p.Stats.DecodeFail
 	crcs := make([]fapi.CRCResult, 0, len(ulCfg.PDUs))
 	var payloads []fapi.TBPayload
 	for i := range pending {
 		pd := &pending[i]
 		out := outcomes[i]
+		if pd.hadIQ && p.Trace != nil {
+			// Emitted here, in the deterministic (UE, HARQ)-ordered merge on
+			// the event-loop goroutine — never from the parallel decode above
+			// — so the trace is byte-identical at any worker count.
+			flags := uint64(pd.harq)
+			if pd.newData {
+				flags |= 1 << 8
+			}
+			if out.OK {
+				flags |= 1 << 9
+			}
+			p.Trace.Emit(trace.KindFECDecode, p.Cfg.ID, c.id, pd.ue, slot, flags)
+		}
 		if pd.hadIQ && p.OnULDecode != nil {
 			p.OnULDecode(c.id, pd.ue, pd.harq, pd.newData, pd.tbHash, out.OK)
 		}
@@ -695,6 +734,11 @@ func (p *PHY) drainUL(cellID uint16, slot uint64) {
 		}
 		crcs = append(crcs, fapi.CRCResult{UEID: pdu.UEID, HARQID: pdu.HARQID, OK: false, SNRdB: snr})
 		p.Stats.DecodeFail++
+	}
+	if p.Trace != nil {
+		m := p.Trace.Metrics()
+		m.Counter("phy.decode.ok").Add(p.Stats.DecodeOK - okBefore)
+		m.Counter("phy.decode.fail").Add(p.Stats.DecodeFail - failBefore)
 	}
 	if len(payloads) > 0 {
 		p.fapiOut(&fapi.RxData{CellID: cellID, Slot: slot, Payloads: payloads})

@@ -13,6 +13,8 @@ package rlc
 import (
 	"encoding/binary"
 	"errors"
+
+	"slingshot/internal/trace"
 )
 
 // PDU layout: sn(2) | nSegs(2) | segments...
@@ -128,6 +130,20 @@ type Rx struct {
 	// Delivered and Discarded count packets for loss accounting.
 	Delivered uint64
 	Discarded uint64
+
+	// Trace, when non-nil, records each discard; Cell and UE locate this
+	// receiver in the cross-layer timeline. The owning L2 sets all three at
+	// UE attach. Ingest runs only on the event-loop goroutine.
+	Trace    *trace.Recorder
+	Cell, UE uint16
+}
+
+// discard counts one abandoned packet and records it.
+func (r *Rx) discard() {
+	r.Discarded++
+	if r.Trace != nil {
+		r.Trace.Emit(trace.KindRLCDiscard, 0, r.Cell, r.UE, 0, r.Discarded)
+	}
 }
 
 // NewRx returns a receiver with the default 64-PDU reordering window.
@@ -160,7 +176,7 @@ func (r *Rx) flushGapTo(sn uint16) {
 		if _, ok := r.pending[s]; !ok {
 			// A missing PDU kills any packet spanning it.
 			if r.inPkt {
-				r.Discarded++
+				r.discard()
 				r.partial = nil
 				r.inPkt = false
 			}
@@ -237,7 +253,7 @@ func (r *Rx) parse(pdu []byte) ([][]byte, error) {
 		if flags&flagFirst != 0 {
 			if r.inPkt {
 				// Previous packet never completed (lost tail).
-				r.Discarded++
+				r.discard()
 			}
 			r.partial = nil
 			r.inPkt = true
@@ -246,7 +262,7 @@ func (r *Rx) parse(pdu []byte) ([][]byte, error) {
 			// Continuation of a packet whose head was lost; count the
 			// packet once, at its final fragment.
 			if flags&flagLast != 0 {
-				r.Discarded++
+				r.discard()
 			}
 			continue
 		}
@@ -284,6 +300,9 @@ func (r *Rx) Clone() *Rx {
 		inPkt:      r.inPkt,
 		Delivered:  r.Delivered,
 		Discarded:  r.Discarded,
+		Trace:      r.Trace,
+		Cell:       r.Cell,
+		UE:         r.UE,
 	}
 	for sn, pdu := range r.pending {
 		c.pending[sn] = append([]byte(nil), pdu...)

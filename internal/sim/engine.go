@@ -99,6 +99,21 @@ func (e *Engine) After(d Time, name string, fn func()) *Event {
 	return e.At(e.now+d, name, fn)
 }
 
+// Remove cancels ev and deletes it from the queue immediately. Cancel
+// alone leaves the event in the heap until its fire time — harmless for
+// one-shots, but a canceled far-future or periodic event would otherwise
+// linger as queue garbage (and keep Pending nonzero). Safe on nil and on
+// events that already fired or were already removed.
+func (e *Engine) Remove(ev *Event) {
+	if ev == nil {
+		return
+	}
+	ev.canceled = true
+	if ev.index >= 0 && ev.index < len(e.queue) && e.queue[ev.index] == ev {
+		heap.Remove(&e.queue, ev.index)
+	}
+}
+
 // Every schedules fn to run every period, with the first firing delay
 // after the current time. It returns a cancel function that stops future
 // firings. fn observes the engine clock.
@@ -124,7 +139,7 @@ func (e *Engine) Every(delay, period Time, name string, fn func()) (cancel func(
 	pending = e.At(e.now+delay, name, tick)
 	return func() {
 		stopped = true
-		pending.Cancel()
+		e.Remove(pending)
 	}
 }
 
@@ -185,5 +200,6 @@ func (e *Engine) Stop() { e.stopped = true }
 // Stopped reports whether Stop has been called.
 func (e *Engine) Stopped() bool { return e.stopped }
 
-// Pending returns the number of queued (possibly canceled) events.
+// Pending returns the number of queued events (Canceled-but-not-Removed
+// events still count until their fire time).
 func (e *Engine) Pending() int { return e.queue.Len() }

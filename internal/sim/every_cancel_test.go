@@ -1,0 +1,101 @@
+// External test package: it drives the engine through the trace recorder
+// (sim cannot import trace — trace imports sim).
+package sim_test
+
+import (
+	"testing"
+
+	"slingshot/internal/sim"
+	"slingshot/internal/trace"
+)
+
+// TestEveryCancelStopsTickEvents pins the fix for the periodic-cancel
+// leak: canceling an Every mid-run must (a) emit no further per-tick
+// trace events, and (b) remove the pending tick from the event queue
+// immediately rather than leaving a canceled tombstone until its fire
+// time.
+func TestEveryCancelStopsTickEvents(t *testing.T) {
+	eng := sim.NewEngine()
+	rec := trace.NewRecorder(64)
+	rec.Bind(eng)
+
+	n := uint64(0)
+	cancel := eng.Every(0, sim.Millisecond, "probe", func() {
+		n++
+		rec.EmitLabeled(trace.KindTick, "probe", 0, 0, 0, n, 0)
+	})
+
+	eng.RunUntil(5 * sim.Millisecond) // fires at 0..5 ms inclusive
+	if n != 6 {
+		t.Fatalf("tick fired %d times before cancel, want 6", n)
+	}
+	if got := rec.Total(); got != 6 {
+		t.Fatalf("recorder saw %d events, want 6", got)
+	}
+
+	cancel()
+	if p := eng.Pending(); p != 0 {
+		t.Fatalf("canceled periodic event still queued: Pending() = %d, want 0", p)
+	}
+
+	eng.RunUntil(50 * sim.Millisecond)
+	if n != 6 || rec.Total() != 6 {
+		t.Fatalf("events after cancel: ticks=%d traced=%d, want 6/6", n, rec.Total())
+	}
+
+	// Cancel is idempotent even after the fix.
+	cancel()
+	if p := eng.Pending(); p != 0 {
+		t.Fatalf("double cancel re-queued something: Pending() = %d", p)
+	}
+}
+
+// TestEveryCancelFromInsideTick cancels the clock from within its own
+// callback — the event being canceled has already fired, so Remove must
+// handle the not-queued case.
+func TestEveryCancelFromInsideTick(t *testing.T) {
+	eng := sim.NewEngine()
+	n := 0
+	var cancel func()
+	cancel = eng.Every(0, sim.Millisecond, "self-stop", func() {
+		n++
+		if n == 3 {
+			cancel()
+		}
+	})
+	eng.RunUntil(20 * sim.Millisecond)
+	if n != 3 {
+		t.Fatalf("tick fired %d times, want 3", n)
+	}
+	if p := eng.Pending(); p != 0 {
+		t.Fatalf("self-canceled clock left %d queued events", p)
+	}
+}
+
+// TestRemoveSafety exercises Remove on nil, fired, and doubly-removed
+// events, and checks removal keeps the remaining schedule intact.
+func TestRemoveSafety(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Remove(nil) // no-op
+
+	fired := false
+	a := eng.At(1*sim.Millisecond, "a", func() { fired = true })
+	b := eng.At(2*sim.Millisecond, "b", func() { t.Fatal("removed event fired") })
+	c := eng.At(3*sim.Millisecond, "c", func() {})
+
+	eng.Remove(b)
+	eng.Remove(b) // idempotent
+	if p := eng.Pending(); p != 2 {
+		t.Fatalf("Pending() = %d after removing 1 of 3, want 2", p)
+	}
+
+	eng.Run()
+	if !fired {
+		t.Fatal("surviving event a never fired")
+	}
+	eng.Remove(a) // already fired: no-op
+	eng.Remove(c)
+	if p := eng.Pending(); p != 0 {
+		t.Fatalf("Pending() = %d after drain, want 0", p)
+	}
+}

@@ -1,0 +1,243 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"slingshot/internal/sim"
+)
+
+// feed emits n synthetic events drawn from a seeded RNG, advancing the
+// bound engine's clock between emissions.
+func feed(r *Recorder, eng *sim.Engine, seed int64, n int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		if eng != nil {
+			eng.At(eng.Now()+sim.Time(rng.Intn(1000)), "noop", func() {})
+			eng.Run()
+		}
+		kind := EventKind(1 + rng.Intn(int(KindTick)))
+		r.Emit(kind, uint8(rng.Intn(4)), uint16(rng.Intn(8)), uint16(rng.Intn(16)),
+			uint64(rng.Intn(1000)), uint64(rng.Intn(1000)))
+		if rng.Intn(4) == 0 {
+			r.Metrics().Counter("test.fed").Inc()
+		}
+	}
+}
+
+// TestRingEvictionOrderProperty: for any capacity and emission count, the
+// retained events are exactly the most recent min(n, cap) emissions, in
+// emission order with contiguous ascending sequence numbers ending at the
+// final emission. Checked via testing/quick over random shapes.
+func TestRingEvictionOrderProperty(t *testing.T) {
+	prop := func(capRaw uint8, nRaw uint16, seed int64) bool {
+		capacity := int(capRaw)%64 + 1
+		n := int(nRaw) % 300
+		r := NewRecorder(capacity)
+		feed(r, nil, seed, n)
+
+		if r.Total() != uint64(n) {
+			return false
+		}
+		events := r.Events()
+		want := n
+		if want > capacity {
+			want = capacity
+		}
+		if len(events) != want {
+			return false
+		}
+		for i, e := range events {
+			// Oldest retained event is emission n-want; order preserved.
+			if e.Seq != uint64(n-want+i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLastNeverDropsMostRecent: Last(k) always ends with the most recent
+// emission and holds min(k, retained) events in order.
+func TestLastNeverDropsMostRecent(t *testing.T) {
+	prop := func(capRaw, kRaw uint8, nRaw uint16, seed int64) bool {
+		capacity := int(capRaw)%32 + 1
+		k := int(kRaw)%48 + 1
+		n := int(nRaw)%200 + 1 // at least one emission
+		r := NewRecorder(capacity)
+		feed(r, nil, seed, n)
+
+		last := r.Last(k)
+		want := k
+		if held := r.Len(); want > held {
+			want = held
+		}
+		if len(last) != want {
+			return false
+		}
+		if last[len(last)-1].Seq != uint64(n-1) {
+			return false // most recent emission missing
+		}
+		for i := 1; i < len(last); i++ {
+			if last[i].Seq != last[i-1].Seq+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIdenticalFeedsSerializeIdentically: two recorders fed the same
+// seeded event stream produce byte-identical Serialize output; a different
+// seed diverges.
+func TestIdenticalFeedsSerializeIdentically(t *testing.T) {
+	prop := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%500 + 10
+		mk := func(s int64) string {
+			eng := sim.NewEngine()
+			r := NewRecorder(128)
+			r.Bind(eng)
+			feed(r, eng, s, n)
+			return r.Serialize()
+		}
+		return mk(seed) == mk(seed)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+	// Different seeds must not collide (sanity against a constant Serialize).
+	eng1, eng2 := sim.NewEngine(), sim.NewEngine()
+	a, b := NewRecorder(128), NewRecorder(128)
+	a.Bind(eng1)
+	b.Bind(eng2)
+	feed(a, eng1, 1, 100)
+	feed(b, eng2, 2, 100)
+	if a.Serialize() == b.Serialize() {
+		t.Fatal("different feeds serialized identically")
+	}
+}
+
+// TestNilRecorderIsInert: every method on a nil recorder (and nil
+// registry/counter/gauge) is a safe no-op — the disabled-tracing contract
+// all emission sites rely on.
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.Emit(KindTTI, 1, 2, 3, 4, 5)
+	r.EmitLabeled(KindCrash, "x", 1, 2, 3, 4, 5)
+	r.Bind(sim.NewEngine())
+	if r.Total() != 0 || r.Len() != 0 || r.Capacity() != 0 {
+		t.Fatal("nil recorder reports nonzero sizes")
+	}
+	if r.Events() != nil || r.Last(5) != nil {
+		t.Fatal("nil recorder returned events")
+	}
+	if r.Timeline() != "" || r.FlightDump(5, nil) != "" {
+		t.Fatal("nil recorder rendered a timeline")
+	}
+	if got := r.Serialize(); got != "trace: disabled\n" {
+		t.Fatalf("nil Serialize = %q", got)
+	}
+	reg := r.Metrics()
+	if reg != nil {
+		t.Fatal("nil recorder handed out a registry")
+	}
+	reg.Counter("a").Inc()
+	reg.Counter("a").Add(3)
+	reg.Gauge("b").Set(7)
+	reg.Gauge("b").Add(-2)
+	if reg.Counter("a").Value() != 0 || reg.Gauge("b").Value() != 0 {
+		t.Fatal("nil metrics accumulated")
+	}
+	if reg.Snapshot() != nil || reg.Exposition() != "" || reg.Delta(nil) != "" {
+		t.Fatal("nil registry rendered output")
+	}
+}
+
+// TestEventRendering pins one formatted line per kind so the timeline
+// format changes consciously (the golden test covers whole-run output).
+func TestEventRendering(t *testing.T) {
+	e := Event{Seq: 7, At: 1250 * sim.Microsecond, Kind: KindFECDecode,
+		Src: 1, Cell: 0, UE: 3, A: 42, B: 5 | 1<<8 | 1<<9}
+	line := e.String()
+	for _, want := range []string{"[    1.250000ms]", "#000007", "fec-decode",
+		"phy=1", "ue=3", "slot=42", "harq=5", "new=true", "ok=true"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q missing %q", line, want)
+		}
+	}
+	if got := EventKind(200).String(); got != "kind(200)" {
+		t.Fatalf("unknown kind renders %q", got)
+	}
+	// Every named kind must render without falling into the default arm's
+	// raw dump (which would mean a missing detail case).
+	for k := KindTTI; k <= KindTick; k++ {
+		if s := k.String(); strings.HasPrefix(s, "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}
+
+// TestCounterRegistry covers registration idempotence, sorted exposition
+// and delta rendering.
+func TestCounterRegistry(t *testing.T) {
+	if reg := NewRegistry(); reg.Counter("x") != reg.Counter("x") {
+		t.Fatal("same name yielded distinct counters")
+	}
+	reg := NewRegistry()
+	reg.Counter("b.two").Add(2)
+	reg.Counter("a.one").Inc()
+	reg.Gauge("c.gauge").Set(-4)
+	base := reg.Snapshot()
+
+	exp := reg.Exposition()
+	wantExp := "counters:\n  a.one   1\n  b.two   2\n  c.gauge -4\n"
+	if exp != wantExp {
+		t.Fatalf("exposition:\n%q\nwant:\n%q", exp, wantExp)
+	}
+
+	reg.Counter("b.two").Add(3)
+	reg.Gauge("c.gauge").Add(1)
+	delta := reg.Delta(base)
+	wantDelta := "counter deltas:\n  b.two   +3 (now 5)\n  c.gauge +1 (now -3)\n"
+	if delta != wantDelta {
+		t.Fatalf("delta:\n%q\nwant:\n%q", delta, wantDelta)
+	}
+	if got := reg.Delta(reg.Snapshot()); got != "counter deltas: none\n" {
+		t.Fatalf("no-change delta = %q", got)
+	}
+}
+
+// TestChromeExport sanity-checks the trace_event JSON shape.
+func TestChromeExport(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRecorder(16)
+	r.Bind(eng)
+	eng.At(2*sim.Millisecond, "x", func() {
+		r.EmitLabeled(KindCrash, `bad "reason"`, 3, 1, 0, 0, 0)
+	})
+	eng.Run()
+	var b strings.Builder
+	if err := r.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"name":"crash:bad 'reason'"`, `"ph":"i"`,
+		`"ts":2000.000`, `"pid":3`, `"tid":1`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome export missing %q:\n%s", want, out)
+		}
+	}
+	var nb strings.Builder
+	var nilRec *Recorder
+	if err := nilRec.WriteChrome(&nb); err != nil || nb.String() != "[]\n" {
+		t.Fatalf("nil WriteChrome = %q, %v", nb.String(), err)
+	}
+}

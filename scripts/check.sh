@@ -18,12 +18,23 @@ SLINGSHOT_WORKERS=1 go test -race ./...
 
 echo "== chaos soak under race detector (SLINGSHOT_WORKERS=4) =="
 # The parallel lane: seed-sharded soak plus per-slot worker-pool decode,
-# all under the race detector. Catches data races the sequential schedule
-# cannot reach.
+# all under the race detector. Every chaos run records the cross-layer
+# event trace (chaos.Run delegates to RunTraced), so this doubles as the
+# traced-soak race lane: emission sites in phy/harq/rlc/fronthaul/chaos
+# run under -race with the worker pool live.
 SLINGSHOT_WORKERS=4 go test -race ./internal/chaos -run TestChaosSoak -chaos.seeds 10 -count=1
 
 echo "== chaos soak (25 seeds) =="
 go test ./internal/chaos -run TestChaosSoak -chaos.seeds 25
+
+echo "== trace determinism smoke (-race) =="
+# The observability layer's own gate: the golden 100-TTI trace must match
+# byte-for-byte (and re-match at workers=4), a forced invariant violation
+# must produce the flight-recorder dump identically at workers 1 vs 4, and
+# the serialized chaos trace must be invariant to worker-pool width.
+SLINGSHOT_WORKERS=4 go test -race ./internal/trace -run 'TestGoldenTrace' -count=1
+SLINGSHOT_WORKERS=4 go test -race ./internal/chaos -run 'TestFlightRecorder|TestCleanRunHasNoFlightDump' -count=1
+go test -race . -run 'TestReportsInvariantToWorkerCount/chaos-trace' -count=1
 
 echo "== bench smoke (-benchtime=1x) =="
 # One iteration of every benchmark: asserts the bench harness itself and

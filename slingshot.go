@@ -210,6 +210,23 @@ func Chaos(seed uint64, profile string) (string, error) {
 	return rep.String(), rep.Err()
 }
 
+// ChaosTraced is Chaos plus the run's serialized event trace: every chaos
+// run records cross-layer events (TTIs, decodes, HARQ, fronthaul faults,
+// failovers, invariant verdicts) into a bounded ring on virtual time, and
+// the returned trace text is the deterministic rendering of that ring —
+// byte-identical for equal seeds regardless of worker-pool width. On an
+// invariant violation the report already embeds the flight-recorder dump
+// (the last events before the first violation plus counter deltas); the
+// full trace returned here is the wider window around it.
+func ChaosTraced(seed uint64, profile string) (report, eventTrace string, err error) {
+	p, ok := chaos.ByName(profile)
+	if !ok {
+		return "", "", fmt.Errorf("slingshot: unknown chaos profile %q (have light, default, heavy)", profile)
+	}
+	rep, rec := chaos.RunTraced(seed, p)
+	return rep.String(), rec.Serialize() + rec.Metrics().Exposition(), rep.Err()
+}
+
 // RunExperiment regenerates one of the paper's tables/figures and returns
 // its textual report. scale in (0,1] shrinks long experiments (1 =
 // paper-scale durations).
