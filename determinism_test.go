@@ -8,6 +8,7 @@ package slingshot
 import (
 	"testing"
 
+	"slingshot/internal/mem"
 	"slingshot/internal/par"
 )
 
@@ -52,6 +53,45 @@ func TestChaosDeterministicAcrossRuns(t *testing.T) {
 func TestChaosUnknownProfile(t *testing.T) {
 	if _, err := Chaos(1, "nope"); err == nil {
 		t.Fatal("unknown profile accepted")
+	}
+}
+
+// TestReportsInvariantToPooling pins the memory layer's central property:
+// buffer recycling (internal/mem and the typed FAPI/packet free lists) only
+// changes allocator traffic, never results. Every report — and the
+// serialized event trace — must be byte-identical between pooling on and
+// the SLINGSHOT_POOL=off escape hatch, or a recycle point is releasing a
+// buffer something still reads.
+func TestReportsInvariantToPooling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: full experiment runs at two pooling modes")
+	}
+	cases := []struct {
+		name string
+		run  func() (string, error)
+	}{
+		{"fig8", func() (string, error) { return RunExperiment("fig8", 0.5) }},
+		{"chaos", func() (string, error) { return Chaos(5, "light") }},
+		{"sec82", func() (string, error) { return RunExperiment("sec82", 0.5) }},
+		{"chaos-trace", func() (string, error) {
+			_, tr, err := ChaosTraced(5, "light")
+			return tr, err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prev := mem.SetEnabled(true)
+			defer mem.SetEnabled(prev)
+			pooled, pooledErr := tc.run()
+			mem.SetEnabled(false)
+			bare, bareErr := tc.run()
+			if (pooledErr == nil) != (bareErr == nil) {
+				t.Fatalf("error mismatch: pooling on %v, off %v", pooledErr, bareErr)
+			}
+			if pooled != bare {
+				t.Fatalf("report differs between pooling on and SLINGSHOT_POOL=off:\n--- pooled ---\n%s\n--- off ---\n%s", pooled, bare)
+			}
+		})
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"testing"
 
+	"slingshot/internal/mem"
 	"slingshot/internal/sim"
 )
 
@@ -25,6 +26,34 @@ func TestChaosSoak(t *testing.T) {
 	})
 	if !ok {
 		t.Fatalf("minimal failing seed: %d\n%s", rep.Seed, rep)
+	}
+}
+
+// TestSoakFingerprintsInvariantToPooling runs the soak lane's seeds with
+// buffer pooling on and again with the SLINGSHOT_POOL=off escape hatch:
+// every seed's fingerprinted report must come out byte-identical, proving
+// recycling changes only allocator traffic, never what the chaos schedule
+// computes — across kills, migrations, fronthaul faults and all.
+func TestSoakFingerprintsInvariantToPooling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	prev := mem.SetEnabled(true)
+	defer mem.SetEnabled(prev)
+	profile := Light()
+	for seed := uint64(1); seed <= 5; seed++ {
+		mem.SetEnabled(true)
+		on := Run(seed, profile)
+		mem.SetEnabled(false)
+		off := Run(seed, profile)
+		if on.Fingerprint != off.Fingerprint {
+			t.Fatalf("seed %d fingerprint differs: pooled %016x vs SLINGSHOT_POOL=off %016x",
+				seed, on.Fingerprint, off.Fingerprint)
+		}
+		if on.String() != off.String() {
+			t.Fatalf("seed %d report differs between pooling modes:\n--- pooled ---\n%s\n--- off ---\n%s",
+				seed, on, off)
+		}
 	}
 }
 

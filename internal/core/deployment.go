@@ -272,6 +272,9 @@ func (d *Deployment) addPHYServer(server uint8) {
 	o.SendFrame = orionLink.Send
 	o.ToPHY = p.HandleFAPI
 	p.SendFAPI = o.FromPHY
+	// Messages arriving over the Orion path came from fapi.Decode: the PHY
+	// owns them outright and may recycle payload buffers at its slot GC.
+	p.OwnsFAPIData = true
 
 	d.PHYs[server] = p
 	d.Orions[server] = o

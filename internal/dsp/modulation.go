@@ -93,6 +93,12 @@ func init() {
 // unit-average-power QAM symbols. len(bits) must be a multiple of
 // m.BitsPerSymbol().
 func Modulate(bits []byte, m Modulation) []complex128 {
+	return AppendModulate(make([]complex128, 0, len(bits)/m.BitsPerSymbol()), bits, m)
+}
+
+// AppendModulate is Modulate appending to dst, so per-block hot paths can
+// reuse one symbol buffer instead of allocating per call.
+func AppendModulate(dst []complex128, bits []byte, m Modulation) []complex128 {
 	bps := m.BitsPerSymbol()
 	if len(bits)%bps != 0 {
 		panic(fmt.Sprintf("dsp: %d bits not a multiple of %d", len(bits), bps))
@@ -100,16 +106,16 @@ func Modulate(bits []byte, m Modulation) []complex128 {
 	half := bps / 2
 	levels := pamTables[half].levels
 	scale := pamTables[half].scale
-	out := make([]complex128, len(bits)/bps)
-	for s := range out {
+	n := len(bits) / bps
+	for s := 0; s < n; s++ {
 		var iBits, qBits int
 		for b := 0; b < half; b++ {
 			iBits = iBits<<1 | int(bits[s*bps+b])
 			qBits = qBits<<1 | int(bits[s*bps+half+b])
 		}
-		out[s] = complex(levels[iBits]*scale, levels[qBits]*scale)
+		dst = append(dst, complex(levels[iBits]*scale, levels[qBits]*scale))
 	}
-	return out
+	return dst
 }
 
 // Demodulate computes per-bit LLRs (positive = bit 0 likely) from received

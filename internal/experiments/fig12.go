@@ -45,21 +45,30 @@ func orionPathLatency(rateBps float64, duration sim.Time) *metrics.Sample {
 				delete(sent, tx.Slot)
 			}
 		}
+		// This hook stands in for the PHY, so delivery transfers ownership
+		// here: every message arrived via fapi.Decode and is recycled
+		// wholesale once measured.
+		fapi.ReleaseDeep(m)
 	}
 
 	// Per-slot FAPI load: UL/DL configs plus a TxData sized to the DL
-	// rate (3 of 5 slots are DL).
+	// rate (3 of 5 slots are DL). Requests are pool-leased (the L2-side
+	// Orion recycles them after encoding) and the TB payload buffer is
+	// reused across slots — its zeros are copied onto the wire before the
+	// next slot fires.
 	const tti = 500 * sim.Microsecond
 	bytesPerDLSlot := int(rateBps / 8 * tti.Seconds() * 5 / 3)
+	payload := make([]byte, bytesPerDLSlot)
 	slot := uint64(0)
 	e.Every(0, tti, "gen", func() {
 		slot++
-		l2o.FromL2(&fapi.ULConfig{CellID: 0, Slot: slot})
-		l2o.FromL2(&fapi.DLConfig{CellID: 0, Slot: slot, PDUs: []fapi.PDU{{UEID: 1}}})
+		l2o.FromL2(fapi.GetULConfig(0, slot))
+		dl := fapi.GetDLConfig(0, slot)
+		dl.PDUs = append(dl.PDUs, fapi.PDU{UEID: 1})
+		l2o.FromL2(dl)
 		if slot%5 < 3 {
-			payload := make([]byte, bytesPerDLSlot)
-			tx := &fapi.TxData{CellID: 0, Slot: slot,
-				Payloads: []fapi.TBPayload{{UEID: 1, Data: payload}}}
+			tx := fapi.GetTxData(0, slot)
+			tx.Payloads = append(tx.Payloads, fapi.TBPayload{UEID: 1, Data: payload})
 			sent[slot] = e.Now()
 			l2o.FromL2(tx)
 		}

@@ -17,6 +17,7 @@ import (
 
 	"slingshot/internal/dsp"
 	"slingshot/internal/fronthaul"
+	"slingshot/internal/mem"
 )
 
 // Kind discriminates FAPI message types.
@@ -79,6 +80,10 @@ type Message interface {
 	AbsSlot() uint64
 	encodeBody(b []byte) []byte
 	decodeBody(b []byte) error
+	// bodySize returns the exact encoded body length, so Encode can size
+	// its output in one allocation (and Orion can price a message's
+	// processing delay without encoding it twice).
+	bodySize() int
 }
 
 // PDU describes one UE's work item in a UL_CONFIG or DL_CONFIG request:
@@ -152,15 +157,31 @@ var (
 // kind(1) cell(2) absSlot(8) bodyLen(4).
 const headerWire = 1 + 2 + 8 + 4
 
-// Encode serializes any message to wire format.
+// EncodedSize returns the exact wire size of m without encoding it.
+func EncodedSize(m Message) int {
+	return headerWire + m.bodySize()
+}
+
+// AppendEncode serializes m to wire format, appending to dst.
+func AppendEncode(dst []byte, m Message) []byte {
+	var h [headerWire]byte
+	h[0] = byte(m.Kind())
+	binary.BigEndian.PutUint16(h[1:3], m.Cell())
+	binary.BigEndian.PutUint64(h[3:11], m.AbsSlot())
+	binary.BigEndian.PutUint32(h[11:15], uint32(m.bodySize()))
+	dst = append(dst, h[:]...)
+	return m.encodeBody(dst)
+}
+
+// Encode serializes any message to wire format in a single allocation.
 func Encode(m Message) []byte {
-	body := m.encodeBody(nil)
-	out := make([]byte, headerWire, headerWire+len(body))
-	out[0] = byte(m.Kind())
-	binary.BigEndian.PutUint16(out[1:3], m.Cell())
-	binary.BigEndian.PutUint64(out[3:11], m.AbsSlot())
-	binary.BigEndian.PutUint32(out[11:15], uint32(len(body)))
-	return append(out, body...)
+	return AppendEncode(make([]byte, 0, EncodedSize(m)), m)
+}
+
+// EncodePooled serializes m into a leased mem buffer; recycle the result
+// with mem.PutBytes once the wire bytes have been consumed.
+func EncodePooled(m Message) []byte {
+	return AppendEncode(mem.GetBytesCap(EncodedSize(m)), m)
 }
 
 // Decode parses one wire-format message.
@@ -177,6 +198,10 @@ func Decode(data []byte) (Message, error) {
 	}
 	body := data[headerWire : headerWire+bodyLen]
 
+	// The per-slot message kinds lease their structs (and, inside
+	// decodeBody, their element slices' capacity) from typed free lists;
+	// ReleaseShallow/ReleaseDeep recycle them. Control-plane kinds are rare
+	// enough to allocate fresh.
 	var m Message
 	switch kind {
 	case KindConfigRequest:
@@ -188,21 +213,21 @@ func Decode(data []byte) (Message, error) {
 	case KindStopRequest:
 		m = &StopRequest{CellID: cell}
 	case KindSlotIndication:
-		m = &SlotIndication{CellID: cell, Slot: abs}
+		m = GetSlotIndication(cell, abs)
 	case KindDLConfig:
-		m = &DLConfig{CellID: cell, Slot: abs}
+		m = GetDLConfig(cell, abs)
 	case KindULConfig:
-		m = &ULConfig{CellID: cell, Slot: abs}
+		m = GetULConfig(cell, abs)
 	case KindTxData:
-		m = &TxData{CellID: cell, Slot: abs}
+		m = GetTxData(cell, abs)
 	case KindRxData:
-		m = &RxData{CellID: cell, Slot: abs}
+		m = GetRxData(cell, abs)
 	case KindCRCIndication:
-		m = &CRCIndication{CellID: cell, Slot: abs}
+		m = GetCRCIndication(cell, abs)
 	case KindErrorIndication:
 		m = &ErrorIndication{CellID: cell, Slot: abs}
 	case KindUCIIndication:
-		m = &UCIIndication{CellID: cell, Slot: abs}
+		m = GetUCIIndication(cell, abs)
 	default:
 		return nil, ErrUnknownKind
 	}

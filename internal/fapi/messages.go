@@ -1,6 +1,10 @@
 package fapi
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+
+	"slingshot/internal/mem"
+)
 
 // ConfigRequest initializes PHY processing for a cell (== RU). The L2
 // sends it when onboarding a new RU; Orion duplicates it to provision both
@@ -31,6 +35,8 @@ func (m *ConfigRequest) encodeBody(b []byte) []byte {
 	return append(b, buf[:]...)
 }
 
+func (m *ConfigRequest) bodySize() int { return 14 }
+
 func (m *ConfigRequest) decodeBody(b []byte) error {
 	if len(b) < 14 {
 		return ErrTruncated
@@ -60,6 +66,8 @@ func (m *ConfigResponse) encodeBody(b []byte) []byte {
 	return append(b, v)
 }
 
+func (m *ConfigResponse) bodySize() int { return 1 }
+
 func (m *ConfigResponse) decodeBody(b []byte) error {
 	if len(b) < 1 {
 		return ErrTruncated
@@ -76,6 +84,7 @@ func (m *StartRequest) Cell() uint16               { return m.CellID }
 func (m *StartRequest) AbsSlot() uint64            { return 0 }
 func (m *StartRequest) encodeBody(b []byte) []byte { return b }
 func (m *StartRequest) decodeBody([]byte) error    { return nil }
+func (m *StartRequest) bodySize() int              { return 0 }
 
 // StopRequest stops slot processing for a cell.
 type StopRequest struct{ CellID uint16 }
@@ -85,6 +94,7 @@ func (m *StopRequest) Cell() uint16               { return m.CellID }
 func (m *StopRequest) AbsSlot() uint64            { return 0 }
 func (m *StopRequest) encodeBody(b []byte) []byte { return b }
 func (m *StopRequest) decodeBody([]byte) error    { return nil }
+func (m *StopRequest) bodySize() int              { return 0 }
 
 // SlotIndication is the PHY's per-slot tick to the L2.
 type SlotIndication struct {
@@ -97,6 +107,7 @@ func (m *SlotIndication) Cell() uint16               { return m.CellID }
 func (m *SlotIndication) AbsSlot() uint64            { return m.Slot }
 func (m *SlotIndication) encodeBody(b []byte) []byte { return b }
 func (m *SlotIndication) decodeBody([]byte) error    { return nil }
+func (m *SlotIndication) bodySize() int              { return 0 }
 
 // DLConfig is the per-slot downlink work request. A request with zero PDUs
 // is a valid "null" request: the PHY stays protocol-alive but does no
@@ -115,8 +126,9 @@ func (m *DLConfig) AbsSlot() uint64 { return m.Slot }
 func (m *DLConfig) Null() bool { return len(m.PDUs) == 0 }
 
 func (m *DLConfig) encodeBody(b []byte) []byte { return encodePDUs(b, m.PDUs) }
+func (m *DLConfig) bodySize() int              { return 2 + len(m.PDUs)*pduWire }
 func (m *DLConfig) decodeBody(b []byte) error {
-	pdus, err := decodePDUs(b)
+	pdus, err := decodePDUsInto(m.PDUs[:0], b)
 	m.PDUs = pdus
 	return err
 }
@@ -136,8 +148,9 @@ func (m *ULConfig) AbsSlot() uint64 { return m.Slot }
 func (m *ULConfig) Null() bool { return len(m.PDUs) == 0 }
 
 func (m *ULConfig) encodeBody(b []byte) []byte { return encodePDUs(b, m.PDUs) }
+func (m *ULConfig) bodySize() int              { return 2 + len(m.PDUs)*pduWire }
 func (m *ULConfig) decodeBody(b []byte) error {
-	pdus, err := decodePDUs(b)
+	pdus, err := decodePDUsInto(m.PDUs[:0], b)
 	m.PDUs = pdus
 	return err
 }
@@ -152,23 +165,24 @@ func encodePDUs(b []byte, pdus []PDU) []byte {
 	return b
 }
 
-func decodePDUs(b []byte) ([]PDU, error) {
+// decodePDUsInto appends the decoded PDUs to dst (reusing its capacity on
+// recycled messages). A zero-PDU body returns dst unchanged, so a fresh
+// message decodes a null config to a nil slice exactly as before.
+func decodePDUsInto(dst []PDU, b []byte) ([]PDU, error) {
 	if len(b) < 2 {
 		return nil, ErrTruncated
 	}
 	n := int(binary.BigEndian.Uint16(b[0:2]))
 	b = b[2:]
-	if n == 0 {
-		return nil, nil
-	}
-	pdus := make([]PDU, n)
 	var err error
 	for i := 0; i < n; i++ {
-		if b, err = pdus[i].decode(b); err != nil {
+		var p PDU
+		if b, err = p.decode(b); err != nil {
 			return nil, err
 		}
+		dst = append(dst, p)
 	}
-	return pdus, nil
+	return dst, nil
 }
 
 // TxData carries downlink transport-block payloads matching a DLConfig.
@@ -183,8 +197,9 @@ func (m *TxData) Cell() uint16    { return m.CellID }
 func (m *TxData) AbsSlot() uint64 { return m.Slot }
 
 func (m *TxData) encodeBody(b []byte) []byte { return encodePayloads(b, m.Payloads) }
+func (m *TxData) bodySize() int              { return payloadsWire(m.Payloads) }
 func (m *TxData) decodeBody(b []byte) error {
-	ps, err := decodePayloads(b)
+	ps, err := decodePayloadsInto(m.Payloads[:0], b)
 	m.Payloads = ps
 	return err
 }
@@ -201,8 +216,9 @@ func (m *RxData) Cell() uint16    { return m.CellID }
 func (m *RxData) AbsSlot() uint64 { return m.Slot }
 
 func (m *RxData) encodeBody(b []byte) []byte { return encodePayloads(b, m.Payloads) }
+func (m *RxData) bodySize() int              { return payloadsWire(m.Payloads) }
 func (m *RxData) decodeBody(b []byte) error {
-	ps, err := decodePayloads(b)
+	ps, err := decodePayloadsInto(m.Payloads[:0], b)
 	m.Payloads = ps
 	return err
 }
@@ -222,31 +238,40 @@ func encodePayloads(b []byte, ps []TBPayload) []byte {
 	return b
 }
 
-func decodePayloads(b []byte) ([]TBPayload, error) {
+func payloadsWire(ps []TBPayload) int {
+	n := 2
+	for i := range ps {
+		n += 7 + len(ps[i].Data)
+	}
+	return n
+}
+
+// decodePayloadsInto appends decoded payloads to dst. Data is copied out
+// of the wire buffer into leased mem buffers, so the decoded message owns
+// its payloads and a ReleaseDeep recycles them.
+func decodePayloadsInto(dst []TBPayload, b []byte) ([]TBPayload, error) {
 	if len(b) < 2 {
 		return nil, ErrTruncated
 	}
 	n := int(binary.BigEndian.Uint16(b[0:2]))
 	b = b[2:]
-	if n == 0 {
-		return nil, nil
-	}
-	ps := make([]TBPayload, n)
 	for i := 0; i < n; i++ {
 		if len(b) < 7 {
 			return nil, ErrTruncated
 		}
-		ps[i].UEID = binary.BigEndian.Uint16(b[0:2])
-		ps[i].HARQID = b[2]
+		var p TBPayload
+		p.UEID = binary.BigEndian.Uint16(b[0:2])
+		p.HARQID = b[2]
 		dlen := int(binary.BigEndian.Uint32(b[3:7]))
 		b = b[7:]
 		if len(b) < dlen {
 			return nil, ErrTruncated
 		}
-		ps[i].Data = append([]byte(nil), b[:dlen]...)
+		p.Data = append(mem.GetBytesCap(dlen), b[:dlen]...)
 		b = b[dlen:]
+		dst = append(dst, p)
 	}
-	return ps, nil
+	return dst, nil
 }
 
 // CRCIndication reports per-UE uplink decode outcomes for a slot.
@@ -277,6 +302,8 @@ func (m *CRCIndication) encodeBody(b []byte) []byte {
 	return b
 }
 
+func (m *CRCIndication) bodySize() int { return 2 + len(m.Results)*8 }
+
 func (m *CRCIndication) decodeBody(b []byte) error {
 	if len(b) < 2 {
 		return ErrTruncated
@@ -286,17 +313,20 @@ func (m *CRCIndication) decodeBody(b []byte) error {
 	if n == 0 {
 		return nil
 	}
-	m.Results = make([]CRCResult, n)
+	dst := m.Results[:0]
 	for i := 0; i < n; i++ {
 		if len(b) < 8 {
 			return ErrTruncated
 		}
-		m.Results[i].UEID = binary.BigEndian.Uint16(b[0:2])
-		m.Results[i].HARQID = b[2]
-		m.Results[i].OK = b[3] == 1
-		m.Results[i].SNRdB = float32(int32(binary.BigEndian.Uint32(b[4:8]))) / 256
+		dst = append(dst, CRCResult{
+			UEID:   binary.BigEndian.Uint16(b[0:2]),
+			HARQID: b[2],
+			OK:     b[3] == 1,
+			SNRdB:  float32(int32(binary.BigEndian.Uint32(b[4:8]))) / 256,
+		})
 		b = b[8:]
 	}
+	m.Results = dst
 	return nil
 }
 
@@ -319,6 +349,7 @@ func (m *ErrorIndication) Cell() uint16    { return m.CellID }
 func (m *ErrorIndication) AbsSlot() uint64 { return m.Slot }
 
 func (m *ErrorIndication) encodeBody(b []byte) []byte { return append(b, m.Code) }
+func (m *ErrorIndication) bodySize() int              { return 1 }
 func (m *ErrorIndication) decodeBody(b []byte) error {
 	if len(b) < 1 {
 		return ErrTruncated

@@ -1,6 +1,10 @@
 package fapi
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+
+	"slingshot/internal/mem"
+)
 
 // KindUCIIndication extends the message vocabulary with UCI.indication:
 // uplink control information the UE sends on PUCCH — downlink HARQ
@@ -25,8 +29,21 @@ const uciWire = 2 + 1 + 1 + 1 + 4
 // EncodeUCIList serializes UCI reports (used as fronthaul Aux payload and
 // in UCIIndication bodies).
 func EncodeUCIList(list []UCI) []byte {
-	out := make([]byte, 2, 2+len(list)*uciWire)
-	binary.BigEndian.PutUint16(out, uint16(len(list)))
+	return AppendUCIList(make([]byte, 0, 2+len(list)*uciWire), list)
+}
+
+// EncodeUCIListPooled is EncodeUCIList into a pool-leased buffer. The
+// caller owns the result and returns it with mem.PutBytes once it has been
+// copied to the wire.
+func EncodeUCIListPooled(list []UCI) []byte {
+	return AppendUCIList(mem.GetBytesCap(2+len(list)*uciWire), list)
+}
+
+// AppendUCIList serializes UCI reports, appending to dst.
+func AppendUCIList(dst []byte, list []UCI) []byte {
+	var n [2]byte
+	binary.BigEndian.PutUint16(n[:], uint16(len(list)))
+	dst = append(dst, n[:]...)
 	for _, u := range list {
 		var buf [uciWire]byte
 		binary.BigEndian.PutUint16(buf[0:2], u.UEID)
@@ -38,9 +55,15 @@ func EncodeUCIList(list []UCI) []byte {
 			buf[4] = 1
 		}
 		binary.BigEndian.PutUint32(buf[5:9], uint32(int32(u.CQIdB*256)))
-		out = append(out, buf[:]...)
+		dst = append(dst, buf[:]...)
 	}
-	return out
+	return dst
+}
+
+// AppendDecodeUCIList parses UCI reports appending to dst, reusing its
+// capacity (pass a pooled message's Reports[:0]).
+func AppendDecodeUCIList(dst []UCI, data []byte) ([]UCI, error) {
+	return decodeUCIListInto(dst, data)
 }
 
 // DecodeUCIList parses UCI reports.
@@ -82,11 +105,36 @@ func (m *UCIIndication) Cell() uint16    { return m.CellID }
 func (m *UCIIndication) AbsSlot() uint64 { return m.Slot }
 
 func (m *UCIIndication) encodeBody(b []byte) []byte {
-	return append(b, EncodeUCIList(m.Reports)...)
+	return AppendUCIList(b, m.Reports)
 }
 
+func (m *UCIIndication) bodySize() int { return 2 + len(m.Reports)*uciWire }
+
 func (m *UCIIndication) decodeBody(b []byte) error {
-	list, err := DecodeUCIList(b)
+	list, err := decodeUCIListInto(m.Reports[:0], b)
 	m.Reports = list
 	return err
+}
+
+// decodeUCIListInto appends parsed UCI reports to dst, reusing capacity.
+func decodeUCIListInto(dst []UCI, data []byte) ([]UCI, error) {
+	if len(data) < 2 {
+		return nil, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(data[0:2]))
+	data = data[2:]
+	if len(data) < n*uciWire {
+		return nil, ErrTruncated
+	}
+	for i := 0; i < n; i++ {
+		buf := data[i*uciWire:]
+		dst = append(dst, UCI{
+			UEID:        binary.BigEndian.Uint16(buf[0:2]),
+			HARQID:      buf[2],
+			HasFeedback: buf[3] == 1,
+			ACK:         buf[4] == 1,
+			CQIdB:       float32(int32(binary.BigEndian.Uint32(buf[5:9]))) / 256,
+		})
+	}
+	return dst, nil
 }

@@ -1,12 +1,20 @@
 package fec
 
-import "slingshot/internal/par"
+import (
+	"sync"
+
+	"slingshot/internal/par"
+)
 
 // DecodeJob is one transport block's decode work for DecodeBatch.
 type DecodeJob struct {
 	Code     *Code
 	LLR      []float64
 	MaxIters int
+	// Info, when its capacity is at least Code.K, receives the decoded
+	// info bits and the result's Info aliases it — no per-job allocation.
+	// Leave nil to have the batch allocate a fresh copy.
+	Info []byte
 }
 
 // DecodeBatch fans a slot's transport-block decodes across the bounded
@@ -20,9 +28,54 @@ type DecodeJob struct {
 // what keeps virtual time frozen while workers run. With SLINGSHOT_WORKERS=1
 // the batch degrades to an inline sequential loop in job order.
 func DecodeBatch(jobs []DecodeJob) []DecodeResult {
-	return par.Map(len(jobs), func(i int) DecodeResult {
-		return jobs[i].Code.Decode(jobs[i].LLR, jobs[i].MaxIters)
-	})
+	out := make([]DecodeResult, len(jobs))
+	DecodeBatchInto(out, jobs)
+	return out
+}
+
+// batchCtx carries one DecodeBatchInto call's slices plus a long-lived
+// closure over itself, so handing work to par.ForEach does not allocate a
+// fresh escaping closure per batch.
+type batchCtx struct {
+	results []DecodeResult
+	jobs    []DecodeJob
+	fn      func(int)
+}
+
+var batchCtxPool = sync.Pool{New: func() any {
+	b := &batchCtx{}
+	b.fn = b.decode
+	return b
+}}
+
+func (b *batchCtx) decode(i int) {
+	j := &b.jobs[i]
+	s := j.Code.getScratch()
+	res := j.Code.DecodeWithScratch(j.LLR, j.MaxIters, s)
+	if cap(j.Info) >= j.Code.K {
+		j.Info = j.Info[:j.Code.K]
+		copy(j.Info, res.Info)
+		res.Info = j.Info
+	} else {
+		res.Info = append([]byte(nil), res.Info...)
+	}
+	j.Code.putScratch(s)
+	b.results[i] = res
+}
+
+// DecodeBatchInto is DecodeBatch writing into a caller-provided results
+// slice (len must equal len(jobs)). Paired with per-job Info buffers it
+// decodes a slot's blocks with zero allocations at steady state: scratch
+// is pooled, results land in results[i], and info bits land in jobs[i].Info.
+func DecodeBatchInto(results []DecodeResult, jobs []DecodeJob) {
+	if len(results) != len(jobs) {
+		panic("fec: DecodeBatchInto results/jobs length mismatch")
+	}
+	b := batchCtxPool.Get().(*batchCtx)
+	b.results, b.jobs = results, jobs
+	par.ForEach(len(jobs), b.fn)
+	b.results, b.jobs = nil, nil
+	batchCtxPool.Put(b)
 }
 
 // GetScratch borrows pooled decoder scratch; pair with PutScratch. Hot

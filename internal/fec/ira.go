@@ -168,10 +168,20 @@ func (c *Code) Rate() float64 { return float64(c.K) / float64(c.N) }
 // Encode maps K info bits (one bit per byte, values 0/1) to N coded bits.
 // The output is systematic: out[:K] equals info.
 func (c *Code) Encode(info []byte) []byte {
+	out := make([]byte, c.N)
+	c.EncodeInto(out, info)
+	return out
+}
+
+// EncodeInto is Encode writing into out (len must be N), so per-block hot
+// paths can reuse one coded-bit buffer instead of allocating per call.
+func (c *Code) EncodeInto(out, info []byte) {
 	if len(info) != c.K {
 		panic(fmt.Sprintf("fec: Encode got %d bits, code K=%d", len(info), c.K))
 	}
-	out := make([]byte, c.N)
+	if len(out) != c.N {
+		panic(fmt.Sprintf("fec: EncodeInto got %d-bit output, code N=%d", len(out), c.N))
+	}
 	copy(out, info)
 	var acc byte
 	for i, row := range c.rows {
@@ -182,7 +192,6 @@ func (c *Code) Encode(info []byte) []byte {
 		acc ^= s
 		out[c.K+i] = acc
 	}
-	return out
 }
 
 // DecodeResult reports the outcome of an iterative decode.

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"slingshot/internal/mem"
 )
 
 // MessageType is the eCPRI message type of a fronthaul packet.
@@ -186,18 +188,39 @@ func PeekType(data []byte) (MessageType, bool) {
 	return MessageType(data[0] & 0x0F), true
 }
 
+// packetPool recycles locally built transmit packets. Packets returned by
+// Decode are NOT pooled: their Payload/Aux alias the received frame, so
+// their lifetime belongs to the frame's owner.
+var packetPool = mem.NewPool[Packet](func(p *Packet) { *p = Packet{} })
+
+// Recycle returns a locally built packet's struct to the free list. Call it
+// only after Serialize has copied the packet to the wire and only for
+// packets from NewControl/NewUplinkIQ/NewDownlinkIQ; Payload and Aux are
+// not recycled here (mem.PutBytes an owned Payload first, never Aux you do
+// not own).
+func (p *Packet) Recycle() { packetPool.Put(p) }
+
 // NewUplinkIQ builds a U-plane uplink packet carrying IQ samples for a PRB
-// range, compressing with the given mantissa width.
+// range, compressing with the given mantissa width. The payload is built in
+// a recycled buffer; senders that serialize immediately may Recycle the
+// packet and mem.PutBytes its payload.
 func NewUplinkIQ(eaxc uint16, seq uint8, slot SlotID, startPRB, numPRB uint16, iq []complex128, mantissaBits int) (*Packet, error) {
-	payload, err := CompressBFP(iq, mantissaBits)
+	if len(iq)%12 != 0 || mantissaBits < 2 || mantissaBits > 16 {
+		// Let the encoder produce the error before any buffer is leased.
+		if _, err := AppendCompressBFP(nil, iq, mantissaBits); err != nil {
+			return nil, err
+		}
+	}
+	payload, err := AppendCompressBFP(
+		mem.GetBytesCap(len(iq)/12*BFPBlockBytes(mantissaBits)), iq, mantissaBits)
 	if err != nil {
 		return nil, err
 	}
-	return &Packet{
-		Version: CurrentVersion, Type: MsgIQData, EAxC: eaxc, Seq: seq,
-		Dir: Uplink, Slot: slot, StartPRB: startPRB, NumPRB: numPRB,
-		MantissaBits: uint8(mantissaBits), Payload: payload,
-	}, nil
+	p := packetPool.Get()
+	p.Version, p.Type, p.EAxC, p.Seq = CurrentVersion, MsgIQData, eaxc, seq
+	p.Dir, p.Slot, p.StartPRB, p.NumPRB = Uplink, slot, startPRB, numPRB
+	p.MantissaBits, p.Payload = uint8(mantissaBits), payload
+	return p, nil
 }
 
 // NewDownlinkIQ builds a U-plane downlink packet.
@@ -214,10 +237,10 @@ func NewDownlinkIQ(eaxc uint16, seq uint8, slot SlotID, startPRB, numPRB uint16,
 // downlink C-plane packet per slot; Slingshot's failure detector treats
 // the stream as a natural heartbeat.
 func NewControl(eaxc uint16, seq uint8, dir Direction, slot SlotID, sections uint8) *Packet {
-	return &Packet{
-		Version: CurrentVersion, Type: MsgRTControl, EAxC: eaxc, Seq: seq,
-		Dir: dir, Slot: slot, MantissaBits: sections,
-	}
+	p := packetPool.Get()
+	p.Version, p.Type, p.EAxC, p.Seq = CurrentVersion, MsgRTControl, eaxc, seq
+	p.Dir, p.Slot, p.MantissaBits = dir, slot, sections
+	return p
 }
 
 // IQ decodes the packet's payload into complex samples. Only valid for

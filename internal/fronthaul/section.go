@@ -31,10 +31,20 @@ const sectionWire = 2 + 1 + 2 + 2 + 1 + 1 + 1 + 1 + 4 + 8
 // ErrBadSectionList reports a malformed C-plane section payload.
 var ErrBadSectionList = errors.New("fronthaul: malformed section list")
 
+// SectionsSize returns the encoded C-plane payload size for n sections.
+func SectionsSize(n int) int { return 2 + n*sectionWire }
+
 // EncodeSections serializes sections as a C-plane payload.
 func EncodeSections(sections []Section) []byte {
-	out := make([]byte, 2, 2+len(sections)*sectionWire)
-	binary.BigEndian.PutUint16(out, uint16(len(sections)))
+	return AppendSections(make([]byte, 0, SectionsSize(len(sections))), sections)
+}
+
+// AppendSections is EncodeSections appending to dst, so the PHY's per-slot
+// heartbeat path can build payloads in recycled buffers.
+func AppendSections(dst []byte, sections []Section) []byte {
+	var n [2]byte
+	binary.BigEndian.PutUint16(n[:], uint16(len(sections)))
+	out := append(dst, n[:]...)
 	for _, s := range sections {
 		var buf [sectionWire]byte
 		binary.BigEndian.PutUint16(buf[0:2], s.UEID)

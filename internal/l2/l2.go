@@ -11,6 +11,7 @@ import (
 
 	"slingshot/internal/dsp"
 	"slingshot/internal/fapi"
+	"slingshot/internal/mem"
 	"slingshot/internal/phy"
 	"slingshot/internal/rlc"
 	"slingshot/internal/sim"
@@ -139,6 +140,18 @@ type L2 struct {
 	cells     map[uint16]*cellCtx
 	cellOrder []uint16 // sorted ids: deterministic scheduling order
 	stopClock func()
+
+	// dlWork is scheduleDownlink's per-slot scratch; onSlot runs on the
+	// event-loop goroutine only, so one slice serves every cell.
+	dlWork []dlWorkItem
+}
+
+// dlWorkItem is one scheduleDownlink decision: (re)transmit HARQ process
+// proc of UE u.
+type dlWorkItem struct {
+	u    *ueCtx
+	proc int
+	retx bool
 }
 
 // New creates an L2.
@@ -279,9 +292,12 @@ func (l *L2) onSlot() {
 }
 
 func (l *L2) scheduleSlot(c *cellCtx, slot uint64) {
-	ul := &fapi.ULConfig{CellID: c.id, Slot: slot}
-	dl := &fapi.DLConfig{CellID: c.id, Slot: slot}
-	tx := &fapi.TxData{CellID: c.id, Slot: slot}
+	// Requests are pool-leased; the consumer recycles them (the PHY at its
+	// slot GC on the direct-SHM path, Orion after encoding on the wire
+	// path).
+	ul := fapi.GetULConfig(c.id, slot)
+	dl := fapi.GetDLConfig(c.id, slot)
+	tx := fapi.GetTxData(c.id, slot)
 
 	switch phy.KindOf(slot) {
 	case phy.SlotUL:
@@ -295,6 +311,8 @@ func (l *L2) scheduleSlot(c *cellCtx, slot uint64) {
 	l.fapiOut(dl)
 	if len(tx.Payloads) > 0 {
 		l.fapiOut(tx)
+	} else {
+		fapi.ReleaseShallow(tx)
 	}
 }
 
@@ -362,17 +380,12 @@ func (l *L2) scheduleUplink(c *cellCtx, slot uint64, ul *fapi.ULConfig) {
 // scheduleDownlink fills the DL slot for backlogged UEs.
 func (l *L2) scheduleDownlink(c *cellCtx, slot uint64, dl *fapi.DLConfig, tx *fapi.TxData) {
 	// Retransmissions first, then new data for backlogged UEs.
-	type work struct {
-		u    *ueCtx
-		proc int
-		retx bool
-	}
-	var items []work
+	items := l.dlWork[:0]
 	for _, id := range c.ueOrder {
 		u := c.ues[id]
 		for p := range u.dlHARQ {
 			if u.dlHARQ[p].state == procNeedRetx {
-				items = append(items, work{u, p, true})
+				items = append(items, dlWorkItem{u, p, true})
 				break
 			}
 		}
@@ -390,12 +403,19 @@ func (l *L2) scheduleDownlink(c *cellCtx, slot uint64, dl *fapi.DLConfig, tx *fa
 			}
 		}
 		if free >= 0 {
-			items = append(items, work{u, free, false})
+			items = append(items, dlWorkItem{u, free, false})
 		}
 	}
+	l.dlWork = items
 	if len(items) == 0 {
 		return
 	}
+	defer func() {
+		// Drop the *ueCtx references so a detached UE can be collected.
+		for i := range items {
+			items[i] = dlWorkItem{}
+		}
+	}()
 	share := l.prbShare(len(items))
 	startPRB := 0
 	for _, it := range items {
@@ -426,7 +446,7 @@ func (l *L2) scheduleDownlink(c *cellCtx, slot uint64, dl *fapi.DLConfig, tx *fa
 		alloc := dsp.Allocation{UEID: u.id, StartPRB: startPRB, NumPRB: share, Mod: mod}
 		startPRB += share
 		tbBytes := tbSizeBytes(alloc)
-		pdu := u.dlTx.BuildPDU(tbBytes)
+		pdu := u.dlTx.AppendPDU(mem.GetBytesCap(tbBytes), tbBytes)
 		*proc = dlProc{
 			state: procWaiting, txCount: 1, sentSlot: slot,
 			pdu: pdu, alloc: alloc, tbBytes: uint32(tbBytes),
@@ -570,7 +590,21 @@ func (l *L2) handleRxData(c *cellCtx, msg *fapi.RxData) {
 	}
 }
 
+// recyclePDU releases a freed DL HARQ process's PDU buffer. A stale
+// duplicate ACK (chaos can replay UCI frames) may free a process whose
+// latest grant is still in flight to the PHY — sentSlot in the future —
+// and the TB bytes must survive until the PHY consumes them at sentSlot.
+// Such buffers are left to the garbage collector; the common case (feedback
+// after transmission) recycles.
+func (l *L2) recyclePDU(proc *dlProc, nowSlot uint64) {
+	if proc.pdu != nil && nowSlot > proc.sentSlot {
+		mem.PutBytes(proc.pdu)
+	}
+	proc.pdu = nil
+}
+
 func (l *L2) handleUCI(c *cellCtx, msg *fapi.UCIIndication) {
+	nowSlot := phy.SlotAt(l.Engine.Now())
 	for _, r := range msg.Reports {
 		u := c.ues[r.UEID]
 		if u == nil {
@@ -590,13 +624,13 @@ func (l *L2) handleUCI(c *cellCtx, msg *fapi.UCIIndication) {
 		if r.ACK {
 			l.Stats.DLAcks++
 			proc.state = procFree
-			proc.pdu = nil
+			l.recyclePDU(proc, nowSlot)
 		} else {
 			l.Stats.DLNacks++
 			if proc.txCount >= l.Cfg.MaxHARQTx {
 				l.Stats.DLGiveUps++
 				proc.state = procFree
-				proc.pdu = nil
+				l.recyclePDU(proc, nowSlot)
 			} else {
 				proc.state = procNeedRetx
 			}
@@ -640,7 +674,9 @@ func (l *L2) expireFeedback(c *cellCtx, now uint64) {
 					proc.state = procNeedRetx
 				} else {
 					proc.state = procFree
-					proc.pdu = nil
+					// now > sentSlot+FeedbackTimeoutSlots, so no grant
+					// referencing the buffer can still be in flight.
+					l.recyclePDU(proc, now)
 				}
 			}
 		}

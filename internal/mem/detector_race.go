@@ -1,0 +1,5 @@
+//go:build race
+
+package mem
+
+func init() { raceEnabled = true }

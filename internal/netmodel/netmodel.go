@@ -99,6 +99,11 @@ type Link struct {
 
 	lastDepart sim.Time
 
+	// deliverFn is the one delivery closure shared by every frame on this
+	// link; the frame rides as the event argument, so Send allocates
+	// neither a closure nor (via the engine's event free list) an event.
+	deliverFn func(any)
+
 	// Delivered and Dropped count frames for observability.
 	Delivered, Dropped uint64
 }
@@ -149,7 +154,10 @@ func (l *Link) Send(f *Frame) {
 		arrive += sim.Time(l.RNG.Float64() * float64(l.JitterAmp))
 	}
 	l.Delivered++
-	l.Engine.At(arrive, "link.deliver", func() { l.To.HandleFrame(f) })
+	if l.deliverFn == nil {
+		l.deliverFn = func(a any) { l.To.HandleFrame(a.(*Frame)) }
+	}
+	l.Engine.AtArgPooled(arrive, "link.deliver", l.deliverFn, f)
 }
 
 // Duplex is a bidirectional cable made of two symmetric links.

@@ -18,6 +18,7 @@ import (
 
 	"slingshot/internal/fapi"
 	"slingshot/internal/fronthaul"
+	"slingshot/internal/mem"
 	"slingshot/internal/netmodel"
 	"slingshot/internal/sim"
 	"slingshot/internal/switchsim"
@@ -150,8 +151,24 @@ type Orion struct {
 	lastDeliveredUL map[uint16]uint64
 	lastDeliveredDL map[uint16]uint64
 
+	// Long-lived event callbacks for the pooled scheduler: the hot per-
+	// message paths ride the engine's event free list with these closures,
+	// so deferring a message costs no allocation.
+	routeFromL2Fn func(any)
+	sendToL2Fn    func(any)
+	netInFn       func(any)
+
 	MigrationLog []MigrationEvent
 }
+
+// netIn carries one decoded inter-Orion message through the processing-
+// queue delay; pooled because every networked FAPI message passes here.
+type netIn struct {
+	m   fapi.Message
+	src netmodel.Addr
+}
+
+var netInPool = mem.NewPool[netIn](func(n *netIn) { *n = netIn{} })
 
 // New creates an Orion process.
 func New(e *sim.Engine, cfg Config) *Orion {
@@ -161,7 +178,7 @@ func New(e *sim.Engine, cfg Config) *Orion {
 	if cfg.MigrationLead == 0 {
 		cfg.MigrationLead = 2
 	}
-	return &Orion{
+	o := &Orion{
 		Cfg:             cfg,
 		Engine:          e,
 		Addr:            netmodel.OrionAddr(cfg.ServerID),
@@ -171,6 +188,22 @@ func New(e *sim.Engine, cfg Config) *Orion {
 		failedServers:   make(map[uint8]bool),
 		rng:             sim.NewRNG(0x0910 + uint64(cfg.ServerID)),
 	}
+	o.routeFromL2Fn = func(a any) { o.routeFromL2(a.(fapi.Message)) }
+	o.sendToL2Fn = func(a any) {
+		m := a.(fapi.Message)
+		o.netSend(o.l2Server, m)
+		// FromPHY messages transfer ownership: the PHY builds them fresh
+		// per slot and never touches them again, so once encoded they are
+		// recycled wholesale.
+		fapi.ReleaseDeep(m)
+	}
+	o.netInFn = func(a any) {
+		n := a.(*netIn)
+		m, src := n.m, n.src
+		netInPool.Put(n)
+		o.routeFromNet(m, src)
+	}
+	return o
 }
 
 // SetL2Server tells a PHY-side Orion which server hosts the L2-side Orion.
@@ -231,12 +264,15 @@ func (o *Orion) after(bytes int, name string, fn func()) {
 	o.Engine.After(o.procDelay(bytes), name, fn)
 }
 
-// netSend ships an encoded FAPI message to another Orion.
+// netSend ships an encoded FAPI message to another Orion. The wire buffer
+// is leased; the receiving Orion recycles it after decoding (the switch
+// forwards each FAPI frame to exactly one egress, so the payload has one
+// consumer).
 func (o *Orion) netSend(dstServer uint8, m fapi.Message) {
 	if o.SendFrame == nil {
 		return
 	}
-	payload := fapi.Encode(m)
+	payload := fapi.EncodePooled(m)
 	o.Stats.NetOut++
 	o.Stats.BytesNetOut += uint64(len(payload))
 	o.SendFrame(&netmodel.Frame{
@@ -248,11 +284,13 @@ func (o *Orion) netSend(dstServer uint8, m fapi.Message) {
 }
 
 // FromL2 is the SHM entry point: the co-located L2 "connects to the PHY"
-// but actually talks to us (§6.1).
+// but actually talks to us (§6.1). The message's wire size prices the
+// processing delay without encoding it (encoding happens once, in
+// netSend).
 func (o *Orion) FromL2(m fapi.Message) {
 	o.Stats.FromL2++
-	size := len(fapi.Encode(m))
-	o.after(size, "orion.from-l2", func() { o.routeFromL2(m) })
+	size := fapi.EncodedSize(m)
+	o.Engine.AfterArgPooled(o.procDelay(size), "orion.from-l2", o.routeFromL2Fn, m)
 }
 
 func (o *Orion) routeFromL2(m fapi.Message) {
@@ -303,6 +341,10 @@ func (o *Orion) routeFromL2(m fapi.Message) {
 	default:
 		o.netSend(o.activeServer(c), m)
 	}
+	// The message is fully encoded onto the wire now. Recycle the struct
+	// and its element slices — but not TBPayload.Data, which may alias
+	// storage the L2 still owns (the HARQ retransmission copy).
+	fapi.ReleaseShallow(m)
 }
 
 // serverForSlot routes a slot-bearing request: slots before the migration
@@ -349,20 +391,22 @@ func (o *Orion) sendNull(c *cellState, slot uint64, uplink bool) {
 	}
 	var m fapi.Message
 	if uplink {
-		m = fapi.NullUL(c.id, slot)
+		m = fapi.GetULConfig(c.id, slot)
 	} else {
-		m = fapi.NullDL(c.id, slot)
+		m = fapi.GetDLConfig(c.id, slot)
 	}
 	o.Stats.NullsSent++
 	o.netSend(standby, m)
+	fapi.ReleaseShallow(m)
 }
 
 // FromPHY is the SHM entry point on the PHY side: the co-located PHY's
-// FAPI output.
+// FAPI output. The message is encoded once (in netSend) and then
+// recycled — the PHY hands over ownership.
 func (o *Orion) FromPHY(m fapi.Message) {
 	o.Stats.FromPHY++
-	size := len(fapi.Encode(m))
-	o.after(size, "orion.from-phy", func() { o.netSend(o.l2Server, m) })
+	size := fapi.EncodedSize(m)
+	o.Engine.AfterArgPooled(o.procDelay(size), "orion.from-phy", o.sendToL2Fn, m)
 }
 
 // HandleFrame receives network traffic: inter-Orion FAPI and switch
@@ -371,11 +415,19 @@ func (o *Orion) HandleFrame(f *netmodel.Frame) {
 	switch f.Type {
 	case netmodel.EtherTypeFAPI:
 		m, err := fapi.Decode(f.Payload)
+		size := len(f.Payload)
+		// Decode copied everything out of the wire bytes; the switch
+		// forwarded this frame to us alone, so the payload is ours to
+		// recycle.
+		mem.PutBytes(f.Payload)
+		f.Payload = nil
 		if err != nil {
 			return
 		}
 		o.Stats.NetIn++
-		o.after(len(f.Payload), "orion.net-in", func() { o.routeFromNet(m, f.Src) })
+		n := netInPool.Get()
+		n.m, n.src = m, f.Src
+		o.Engine.AfterArgPooled(o.procDelay(size), "orion.net-in", o.netInFn, n)
 	case netmodel.EtherTypeControl:
 		cmd, err := switchsim.DecodeCommand(f.Payload)
 		if err != nil || cmd.Type != switchsim.CmdFailureNotify {
@@ -417,11 +469,14 @@ func (o *Orion) fillGap(cell uint16, slot uint64, last map[uint16]uint64, uplink
 		return
 	}
 	for s := prev + 1; s < slot && s < prev+8; s++ {
+		// Ownership of the null config transfers to the PHY with the
+		// delivery (it retains configs until its slot GC), so no release
+		// here.
 		var m fapi.Message
 		if uplink {
-			m = fapi.NullUL(cell, s)
+			m = fapi.GetULConfig(cell, s)
 		} else {
-			m = fapi.NullDL(cell, s)
+			m = fapi.GetDLConfig(cell, s)
 		}
 		o.Stats.GapFilled++
 		o.ToPHY(m)
@@ -433,6 +488,11 @@ func (o *Orion) fillGap(cell uint16, slot uint64, last map[uint16]uint64, uplink
 // pre-migration slots are still accepted (pipelined slot processing,
 // Fig 7).
 func (o *Orion) deliverToL2(m fapi.Message, src netmodel.Addr) {
+	// Every message here came from Decode and is owned by this Orion. The
+	// L2's handlers copy whatever they keep (RLC ingest copies SDU bytes),
+	// so the message is recycled wholesale once delivery — or the standby
+	// filter — is done with it.
+	defer fapi.ReleaseDeep(m)
 	c := o.cells[m.Cell()]
 	if c == nil || o.ToL2 == nil {
 		return

@@ -33,7 +33,42 @@ var (
 	mu       sync.Mutex
 	maxExtra int // extra worker goroutines allowed beyond the callers
 	inFlight int // extra workers currently running
+	started  int // persistent worker goroutines spawned so far
 )
+
+// workCh feeds parked persistent workers. Each send hands one worker a
+// batch to help with; workers park between batches instead of being
+// respawned, so a steady-state batch spawns no goroutines and allocates
+// nothing inside this package.
+var workCh = make(chan *batchState, 64)
+
+// batchState is the shared claim counter for one ForEach call, recycled
+// across batches.
+type batchState struct {
+	fn   func(int)
+	n    int64
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchState) }}
+
+func worker() {
+	for b := range workCh {
+		b.run()
+		b.wg.Done()
+	}
+}
+
+func (b *batchState) run() {
+	for {
+		i := b.next.Add(1) - 1
+		if i >= b.n {
+			return
+		}
+		b.fn(int(i))
+	}
+}
 
 func init() {
 	SetWorkers(defaultWorkers())
@@ -71,7 +106,11 @@ func SetWorkers(n int) (prev int) {
 	return prev
 }
 
-// tryAcquire grabs up to want extra-worker tokens without blocking.
+// tryAcquire grabs up to want extra-worker tokens without blocking, and
+// guarantees a parked worker exists for each token: every in-flight token
+// is either a pending workCh send or a worker mid-batch, so keeping
+// started ≥ inFlight means every send finds an idle worker even when
+// nested batches fan out.
 func tryAcquire(want int) int {
 	mu.Lock()
 	defer mu.Unlock()
@@ -83,6 +122,10 @@ func tryAcquire(want int) int {
 		want = free
 	}
 	inFlight += want
+	for started < inFlight {
+		go worker()
+		started++
+	}
 	return want
 }
 
@@ -117,27 +160,19 @@ func ForEach(n int, fn func(i int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	work := func() {
-		for {
-			i := int(next.Add(1) - 1)
-			if i >= n {
-				return
-			}
-			fn(i)
-		}
-	}
-	var wg sync.WaitGroup
-	wg.Add(extra)
+	b := batchPool.Get().(*batchState)
+	b.fn = fn
+	b.n = int64(n)
+	b.next.Store(0)
+	b.wg.Add(extra)
 	for k := 0; k < extra; k++ {
-		go func() {
-			defer wg.Done()
-			work()
-		}()
+		workCh <- b
 	}
-	work()
-	wg.Wait()
+	b.run() // the caller's goroutine is a worker too
+	b.wg.Wait()
 	release(extra)
+	b.fn = nil
+	batchPool.Put(b)
 }
 
 // Map runs fn over 0..n-1 on the pool and returns the results in input

@@ -50,26 +50,6 @@ func NewCodec(k, n, mantissa int, seed uint64) *Codec {
 	}
 }
 
-// blockBits deterministically derives the sampled block's K info bits from
-// the transport block: the leading payload bytes plus a CRC-16, padded to
-// K bits. Retransmissions of the same TB therefore produce the same coded
-// bits, which is what makes chase combining real.
-func (c *Codec) blockBits(tb []byte) []byte {
-	k := c.Code.K
-	nBytes := k/8 - 2 // leave room for CRC16
-	if nBytes < 1 {
-		nBytes = 1
-	}
-	sample := make([]byte, nBytes)
-	copy(sample, tb)
-	framed := fec.AppendCRC16(sample)
-	bits := make([]byte, k)
-	for i := 0; i < len(framed)*8 && i < k; i++ {
-		bits[i] = framed[i/8] >> (7 - i%8) & 1
-	}
-	return bits
-}
-
 // scrambleMask derives the cell/slot/UE-specific scrambling bits. Both
 // ends derive the same mask; a receiver descrambling with the wrong
 // parameters (or garbage IQ) sees random LLR signs and fails CRC.
@@ -82,30 +62,86 @@ func (c *Codec) pilotSeed(slot uint64, ue uint16) uint64 {
 	return c.Seed ^ slot*0xBF58476D1CE4E5B9 ^ uint64(ue)<<29
 }
 
-// padBitsForMod pads coded bits to a multiple of the modulation order.
-func padBitsForMod(bits []byte, m dsp.Modulation) []byte {
-	bps := m.BitsPerSymbol()
-	if rem := len(bits) % bps; rem != 0 {
-		bits = append(bits, make([]byte, bps-rem)...)
-	}
-	return bits
+// encodeBuf holds the recycled per-block transmit-chain staging (CRC frame,
+// info bits, coded bits, pilots). Pooled package-wide like blockBuf; the
+// transmit chain is fully staged inside one AppendEncodeBlock call, so the
+// buffer is returned before the function does.
+type encodeBuf struct {
+	sample []byte
+	bits   []byte
+	coded  []byte
+	pilots []complex128
 }
+
+var encodeBufPool = sync.Pool{New: func() any { return new(encodeBuf) }}
 
 // EncodeBlock produces the transmitted symbols for a transport block:
 // PilotLen pilot symbols followed by the scrambled, modulated code block.
 func (c *Codec) EncodeBlock(tb []byte, slot uint64, ue uint16, m dsp.Modulation) []complex128 {
-	info := c.blockBits(tb)
-	coded := c.Code.Encode(info)
+	return c.AppendEncodeBlock(nil, tb, slot, ue, m)
+}
+
+// AppendEncodeBlock is EncodeBlock appending to dst, with all intermediate
+// staging (CRC frame, bits, coded bits, pilots) in recycled buffers — the
+// bit stream is identical to EncodeBlock's. Safe to call from parallel
+// workers: it touches no codec state beyond the immutable code tables.
+func (c *Codec) AppendEncodeBlock(dst []complex128, tb []byte, slot uint64, ue uint16, m dsp.Modulation) []complex128 {
+	eb := encodeBufPool.Get().(*encodeBuf)
+
+	// Sampled-block info bits: leading payload bytes + CRC-16, padded to K
+	// bits. Deterministic in the TB so retransmissions produce the same
+	// coded bits — that is what makes chase combining real.
+	k := c.Code.K
+	nBytes := k/8 - 2
+	if nBytes < 1 {
+		nBytes = 1
+	}
+	if cap(eb.sample) < nBytes+2 {
+		eb.sample = make([]byte, 0, nBytes+2)
+	}
+	sample := eb.sample[:nBytes]
+	for i := range sample {
+		sample[i] = 0
+	}
+	copy(sample, tb)
+	framed := fec.AppendCRC16(sample)
+	eb.sample = framed[:0]
+	if cap(eb.bits) < k {
+		eb.bits = make([]byte, 0, k)
+	}
+	bits := eb.bits[:k]
+	for i := range bits {
+		bits[i] = 0
+	}
+	for i := 0; i < len(framed)*8 && i < k; i++ {
+		bits[i] = framed[i/8] >> (7 - i%8) & 1
+	}
+
+	// Encode, scramble, pad to the modulation order (pad bits are zeros and
+	// unscrambled, exactly as the append-based seed path produced).
+	bps := m.BitsPerSymbol()
+	padN := c.Code.N
+	if rem := padN % bps; rem != 0 {
+		padN += bps - rem
+	}
+	if cap(eb.coded) < padN {
+		eb.coded = make([]byte, 0, padN)
+	}
+	coded := eb.coded[:padN]
+	c.Code.EncodeInto(coded[:c.Code.N], bits)
+	for i := c.Code.N; i < padN; i++ {
+		coded[i] = 0
+	}
 	mask := c.scrambleMask(slot, ue)
-	for i := range coded {
+	for i := 0; i < c.Code.N; i++ {
 		coded[i] ^= byte(mask.Uint64() & 1)
 	}
-	coded = padBitsForMod(coded, m)
-	data := dsp.Modulate(coded, m)
-	pilots := dsp.Pilots(c.PilotLen, c.pilotSeed(slot, ue))
-	out := make([]complex128, 0, len(pilots)+len(data))
-	out = append(out, pilots...)
-	return append(out, data...)
+
+	eb.pilots = dsp.PilotsInto(eb.pilots, c.PilotLen, c.pilotSeed(slot, ue))
+	dst = append(dst, eb.pilots...)
+	dst = dsp.AppendModulate(dst, coded, m)
+	encodeBufPool.Put(eb)
+	return dst
 }
 
 // SymbolsPerBlock returns the symbol count EncodeBlock emits for m.

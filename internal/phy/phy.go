@@ -8,6 +8,7 @@ import (
 	"slingshot/internal/fapi"
 	"slingshot/internal/fronthaul"
 	"slingshot/internal/harq"
+	"slingshot/internal/mem"
 	"slingshot/internal/netmodel"
 	"slingshot/internal/par"
 	"slingshot/internal/sim"
@@ -112,6 +113,13 @@ type PHY struct {
 	// happens only on the event-loop goroutine — never inside a par
 	// worker batch — so traces are invariant to SLINGSHOT_WORKERS.
 	Trace *trace.Recorder
+	// OwnsFAPIData marks that messages delivered to HandleFAPI are owned by
+	// the PHY outright, payload Data included — true on the Orion path,
+	// where every message came from fapi.Decode. The slot GC then recycles
+	// TX_DATA payload buffers (ReleaseDeep). Baseline SHM wiring leaves it
+	// false: there the L2's TX_DATA Data aliases its HARQ retransmission
+	// copies, which the L2 still owns (DESIGN.md §10).
+	OwnsFAPIData bool
 
 	Stats Stats
 
@@ -124,6 +132,46 @@ type PHY struct {
 	// only on the event-loop goroutine and PrepareBlock copies the samples
 	// it needs, so one buffer serves every reception.
 	iqBuf []complex128
+	// outcomes is the recycled drainUL decode-result scratch; drainUL is a
+	// single event and the par batch barriers inside it, so one buffer
+	// serves every slot.
+	outcomes []DecodeOutcome
+	// dlJobs / dlPayloads are transmitDL's recycled per-slot staging
+	// (cleared after each use so no TB bytes are pinned across slots).
+	dlJobs     []dlJob
+	dlPayloads map[uint32][]byte
+	// fhTxFn / drainFn are the long-lived callbacks behind the pooled
+	// per-packet and per-slot events (see sim.AfterArgPooled): one closure
+	// for the PHY's lifetime, a recycled arg struct per event.
+	fhTxFn  func(any)
+	drainFn func(any)
+}
+
+// fhTxArg carries one scheduled fronthaul transmission.
+type fhTxArg struct {
+	frame  *netmodel.Frame
+	cellID uint16
+	a, b   uint64 // packet trace args
+}
+
+// ulDrainArg carries one scheduled uplink pipeline drain.
+type ulDrainArg struct {
+	cell uint16
+	slot uint64
+}
+
+var (
+	fhTxArgPool    = mem.NewPool[fhTxArg](func(t *fhTxArg) { *t = fhTxArg{} })
+	ulDrainArgPool = mem.NewPool[ulDrainArg](func(d *ulDrainArg) { *d = ulDrainArg{} })
+)
+
+// dlJob is one DL PDU's staged work item in transmitDL.
+type dlJob struct {
+	tb     []byte
+	ue     uint16
+	seq    uint8
+	jitter sim.Time
+	pkt    *fronthaul.Packet
 }
 
 // pendingUL is one uplink reception awaiting the slot's pipeline drain.
@@ -168,6 +216,10 @@ type cell struct {
 	// grantQueue holds UL grant sections awaiting announcement in the
 	// next DL C-plane packet (the PDCCH path to the UE).
 	grantQueue []fronthaul.Section
+	// pendFree / seenFree recycle the per-slot uplink staging containers
+	// between pipeline drains.
+	pendFree [][]pendingUL
+	seenFree []map[uint16]bool
 
 	missedConfigs int
 }
@@ -183,13 +235,35 @@ func New(e *sim.Engine, cfg Config, rng *sim.RNG) *PHY {
 	if cfg.FECIters < 1 {
 		cfg.FECIters = DefaultFECIter
 	}
-	return &PHY{
+	p := &PHY{
 		Cfg:    cfg,
 		Engine: e,
 		Addr:   netmodel.PHYAddr(cfg.ID),
 		rng:    rng,
 		cells:  make(map[uint16]*cell),
 	}
+	p.fhTxFn = func(a any) {
+		t := a.(*fhTxArg)
+		frame, cellID, ta, tb := t.frame, t.cellID, t.a, t.b
+		fhTxArgPool.Put(t)
+		if p.crashed {
+			return
+		}
+		if p.SendFronthaul != nil {
+			p.SendFronthaul(frame)
+			p.Stats.FronthaulTx++
+			if p.Trace != nil {
+				p.Trace.Emit(trace.KindFronthaulTx, p.Cfg.ID, cellID, 0, ta, tb)
+			}
+		}
+	}
+	p.drainFn = func(a any) {
+		d := a.(*ulDrainArg)
+		cell, slot := d.cell, d.slot
+		ulDrainArgPool.Put(d)
+		p.drainUL(cell, slot)
+	}
+	return p
 }
 
 // Start begins the PHY's slot clock at the next slot boundary.
@@ -247,8 +321,21 @@ func (p *PHY) HandleFAPI(m fapi.Message) {
 		p.acceptDL(msg)
 	case *fapi.TxData:
 		if c := p.cells[msg.CellID]; c != nil {
+			if old := c.txData[msg.Slot]; old != nil && old != msg {
+				p.releaseFAPI(old)
+			}
 			c.txData[msg.Slot] = msg
 		}
+	}
+}
+
+// releaseFAPI recycles a retained FAPI message once the PHY is done with
+// it, honouring payload ownership (see OwnsFAPIData).
+func (p *PHY) releaseFAPI(m fapi.Message) {
+	if p.OwnsFAPIData {
+		fapi.ReleaseDeep(m)
+	} else {
+		fapi.ReleaseShallow(m)
 	}
 }
 
@@ -288,6 +375,9 @@ func (p *PHY) acceptUL(msg *fapi.ULConfig) {
 	if c == nil {
 		return
 	}
+	if old := c.ulConfigs[msg.Slot]; old != nil && old != msg {
+		p.releaseFAPI(old)
+	}
 	c.ulConfigs[msg.Slot] = msg
 	// Queue grant announcements for the UEs (PDCCH equivalent) so the
 	// next DL C-plane packet carries them over the air.
@@ -309,6 +399,9 @@ func (p *PHY) acceptUL(msg *fapi.ULConfig) {
 
 func (p *PHY) acceptDL(msg *fapi.DLConfig) {
 	if c := p.cells[msg.CellID]; c != nil {
+		if old := c.dlConfigs[msg.Slot]; old != nil && old != msg {
+			p.releaseFAPI(old)
+		}
 		c.dlConfigs[msg.Slot] = msg
 	}
 }
@@ -341,7 +434,7 @@ func (p *PHY) processSlot(c *cell, slot uint64) {
 	if p.Trace != nil {
 		p.Trace.Emit(trace.KindTTI, p.Cfg.ID, c.id, 0, slot, 0)
 	}
-	p.fapiOut(&fapi.SlotIndication{CellID: c.id, Slot: slot})
+	p.fapiOut(fapi.GetSlotIndication(c.id, slot))
 
 	ul := c.ulConfigs[slot]
 	dl := c.dlConfigs[slot]
@@ -363,7 +456,6 @@ func (p *PHY) processSlot(c *cell, slot uint64) {
 	// Downlink C-plane heartbeat: every slot, carrying any pending UL
 	// grant sections plus this slot's DL data sections.
 	sections := c.grantQueue
-	c.grantQueue = nil
 	if dl != nil {
 		for _, pdu := range dl.PDUs {
 			sections = append(sections, fronthaul.Section{
@@ -381,6 +473,9 @@ func (p *PHY) processSlot(c *cell, slot uint64) {
 		}
 	}
 	p.sendHeartbeat(c, slot, sections)
+	// The heartbeat's payload copied the sections; reclaim the (possibly
+	// grown) array for next slot's grant queue.
+	c.grantQueue = sections[:0]
 
 	// Downlink data (U-plane) for DL/S slots with scheduled PDUs.
 	if dl != nil && !dl.Null() {
@@ -391,24 +486,43 @@ func (p *PHY) processSlot(c *cell, slot uint64) {
 	// DTX for grants whose fronthaul never arrived) to the L2.
 	if ul != nil && !ul.Null() {
 		drainAt := SlotStart(slot+uint64(p.Cfg.PipelineSlots)-1) + 450*sim.Microsecond
-		cid := c.id
-		p.Engine.At(drainAt, "phy.ul-drain", func() { p.drainUL(cid, slot) })
+		d := ulDrainArgPool.Get()
+		d.cell, d.slot = c.id, slot
+		p.Engine.AtArgPooled(drainAt, "phy.ul-drain", p.drainFn, d)
 	}
 
-	// GC stale per-slot state. Pending blocks that never drained (crash
-	// races) give their pooled buffers back before the slice is dropped.
+	// GC stale per-slot state, recycling the retained FAPI messages (the
+	// last alias into a TX_DATA payload died when transmitDL serialized the
+	// slot's packets, 20 slots ago). Pending blocks that never drained
+	// (crash races) give their pooled buffers back before the slice is
+	// recycled.
 	if slot > 20 {
 		old := slot - 20
-		delete(c.ulConfigs, old)
-		delete(c.dlConfigs, old)
-		delete(c.txData, old)
+		if m := c.ulConfigs[old]; m != nil {
+			p.releaseFAPI(m)
+			delete(c.ulConfigs, old)
+		}
+		if m := c.dlConfigs[old]; m != nil {
+			p.releaseFAPI(m)
+			delete(c.dlConfigs, old)
+		}
+		if m := c.txData[old]; m != nil {
+			p.releaseFAPI(m)
+			delete(c.txData, old)
+		}
 		if pend := c.ulPending[old]; pend != nil {
 			for i := range pend {
 				pend[i].pb.Release()
+				pend[i] = pendingUL{}
 			}
+			c.pendFree = append(c.pendFree, pend[:0])
 			delete(c.ulPending, old)
 		}
-		delete(c.ulSeen, old)
+		if seen := c.ulSeen[old]; seen != nil {
+			clear(seen)
+			c.seenFree = append(c.seenFree, seen)
+			delete(c.ulSeen, old)
+		}
 	}
 }
 
@@ -419,7 +533,8 @@ func (p *PHY) sendHeartbeat(c *cell, slot uint64, sections []fronthaul.Section) 
 	pkt := fronthaul.NewControl(c.id, c.seq, fronthaul.Downlink,
 		fronthaul.SlotFromCounter(slot), uint8(len(sections)))
 	c.seq++
-	pkt.Payload = fronthaul.EncodeSections(sections)
+	pkt.Payload = fronthaul.AppendSections(
+		mem.GetBytesCap(fronthaul.SectionsSize(len(sections))), sections)
 	delay := p.Cfg.HeartbeatOffset + sim.Time(p.rng.Float64()*float64(p.Cfg.HeartbeatJitter))
 	p.sendFronthaulAt(delay, pkt, c, 0)
 	p.Stats.HeartbeatsSent++
@@ -430,7 +545,7 @@ func (p *PHY) sendHeartbeat(c *cell, slot uint64, sections []fronthaul.Section) 
 	if p.Cfg.MidSlotOffset > 0 {
 		mid := fronthaul.NewControl(c.id, c.seq, fronthaul.Downlink,
 			fronthaul.SlotFromCounter(slot), 0)
-		mid.Payload = fronthaul.EncodeSections(nil)
+		mid.Payload = fronthaul.AppendSections(mem.GetBytesCap(fronthaul.SectionsSize(0)), nil)
 		c.seq++
 		midDelay := p.Cfg.MidSlotOffset + sim.Time(p.rng.Float64()*float64(p.Cfg.HeartbeatJitter))
 		p.sendFronthaulAt(midDelay, mid, c, 0)
@@ -447,18 +562,14 @@ func (p *PHY) sendFronthaulAt(delay sim.Time, pkt *fronthaul.Packet, c *cell, vi
 		Virtual: virtual,
 	}
 	traceA, traceB := pkt.TraceArgs()
-	p.Engine.After(delay, "phy.fh-tx", func() {
-		if p.crashed {
-			return
-		}
-		if p.SendFronthaul != nil {
-			p.SendFronthaul(frame)
-			p.Stats.FronthaulTx++
-			if p.Trace != nil {
-				p.Trace.Emit(trace.KindFronthaulTx, p.Cfg.ID, c.id, 0, traceA, traceB)
-			}
-		}
-	})
+	// Serialize copied the packet to the wire, so the staging is done: the
+	// PHY owns pkt and its Payload (pooled by the builders) but never its
+	// Aux (that aliases a TX_DATA transport block).
+	mem.PutBytes(pkt.Payload)
+	pkt.Recycle()
+	t := fhTxArgPool.Get()
+	t.frame, t.cellID, t.a, t.b = frame, c.id, traceA, traceB
+	p.Engine.AfterArgPooled(delay, "phy.fh-tx", p.fhTxFn, t)
 }
 
 // transmitDL encodes each DL PDU's sampled block and ships U-plane packets
@@ -476,8 +587,12 @@ func (p *PHY) transmitDL(c *cell, slot uint64, dl *fapi.DLConfig) {
 	}
 	tx := c.txData[slot]
 	// Payloads key on (UE, HARQ process): one slot can carry both a
-	// retransmission and new data for the same UE.
-	payloads := map[uint32][]byte{}
+	// retransmission and new data for the same UE. The map is recycled
+	// scratch — cleared before transmitDL returns.
+	if p.dlPayloads == nil {
+		p.dlPayloads = make(map[uint32][]byte, 8)
+	}
+	payloads := p.dlPayloads
 	if tx != nil {
 		for _, pl := range tx.Payloads {
 			payloads[uint32(pl.UEID)<<8|uint32(pl.HARQID)] = pl.Data
@@ -487,14 +602,10 @@ func (p *PHY) transmitDL(c *cell, slot uint64, dl *fapi.DLConfig) {
 	// Phase 1 (sequential): fix the per-PDU sequence numbers and jitter
 	// draws in PDU order — the p.rng stream must advance exactly as the
 	// sequential schedule would.
-	type dlJob struct {
-		tb     []byte
-		ue     uint16
-		seq    uint8
-		jitter sim.Time
-		pkt    *fronthaul.Packet
+	if cap(p.dlJobs) < len(dl.PDUs) {
+		p.dlJobs = make([]dlJob, len(dl.PDUs))
 	}
-	jobs := make([]dlJob, len(dl.PDUs))
+	jobs := p.dlJobs[:len(dl.PDUs)]
 	for i, pdu := range dl.PDUs {
 		jobs[i] = dlJob{
 			tb:     payloads[uint32(pdu.UEID)<<8|uint32(pdu.HARQID)],
@@ -505,14 +616,19 @@ func (p *PHY) transmitDL(c *cell, slot uint64, dl *fapi.DLConfig) {
 		c.seq++
 	}
 
-	// Phase 2 (parallel): pure compute — encode, pad, BFP-compress.
-	// Results land by index, so the merge order below is deterministic.
+	// Phase 2 (parallel): pure compute — encode, pad, BFP-compress. The IQ
+	// staging buffer is leased and returned inside each job (the packet
+	// payload copied the compressed samples); results land by index, so the
+	// merge order below is deterministic.
 	par.ForEach(len(jobs), func(i int) {
 		pdu := &dl.PDUs[i]
-		iq := c.codec.EncodeBlock(jobs[i].tb, slot, pdu.UEID, pdu.Alloc.Mod)
+		n := c.codec.SymbolsPerBlock(pdu.Alloc.Mod)
+		n += (12 - n%12) % 12
+		iq := c.codec.AppendEncodeBlock(mem.GetComplexCap(n), jobs[i].tb, slot, pdu.UEID, pdu.Alloc.Mod)
 		iq = PadSymbols(iq)
 		pkt, err := fronthaul.NewDownlinkIQ(c.id, jobs[i].seq, fronthaul.SlotFromCounter(slot),
 			uint16(pdu.Alloc.StartPRB), uint16(pdu.Alloc.NumPRB), iq, c.codec.Mantissa)
+		mem.PutComplex(iq)
 		if err != nil {
 			return
 		}
@@ -534,6 +650,10 @@ func (p *PHY) transmitDL(c *cell, slot uint64, dl *fapi.DLConfig) {
 		p.Stats.EncodedTBs++
 		p.Stats.WorkUnits += uint64(c.codec.Code.Edges()) // encode cost ~ one pass
 	}
+	for i := range jobs {
+		jobs[i] = dlJob{}
+	}
+	clear(payloads)
 }
 
 // HandleFrame implements netmodel.Receiver for fronthaul traffic from the
@@ -564,10 +684,13 @@ func (p *PHY) HandleFrame(f *netmodel.Frame) {
 	if pkt.Type == fronthaul.MsgRTControl {
 		// UL C-plane from the RU: carries the slot's UCI (PUCCH) reports.
 		if len(pkt.Aux) > 0 {
-			if reports, err := fapi.DecodeUCIList(pkt.Aux); err == nil && len(reports) > 0 {
-				p.fapiOut(&fapi.UCIIndication{
-					CellID: c.id, Slot: SlotAt(p.Engine.Now()), Reports: reports,
-				})
+			uci := fapi.GetUCIIndication(c.id, SlotAt(p.Engine.Now()))
+			reports, err := fapi.AppendDecodeUCIList(uci.Reports, pkt.Aux)
+			uci.Reports = reports
+			if err == nil && len(reports) > 0 {
+				p.fapiOut(uci)
+			} else {
+				fapi.ReleaseShallow(uci)
 			}
 		}
 		return
@@ -602,7 +725,12 @@ func (p *PHY) receiveUL(c *cell, pkt *fronthaul.Packet) {
 		return
 	}
 	if c.ulSeen[slot] == nil {
-		c.ulSeen[slot] = make(map[uint16]bool)
+		if n := len(c.seenFree); n > 0 {
+			c.ulSeen[slot] = c.seenFree[n-1]
+			c.seenFree = c.seenFree[:n-1]
+		} else {
+			c.ulSeen[slot] = make(map[uint16]bool)
+		}
 	}
 	if c.ulSeen[slot][ue] {
 		return // duplicate
@@ -630,7 +758,14 @@ func (p *PHY) receiveUL(c *cell, pkt *fronthaul.Packet) {
 	}
 	pend.snrAvg = filter.Observe(snrDB)
 
-	c.ulPending[slot] = append(c.ulPending[slot], pend)
+	lst, ok := c.ulPending[slot]
+	if !ok {
+		if n := len(c.pendFree); n > 0 {
+			lst = c.pendFree[n-1]
+			c.pendFree = c.pendFree[:n-1]
+		}
+	}
+	c.ulPending[slot] = append(lst, pend)
 }
 
 // matchULSlot resolves a wrapped SlotID against pending UL configs.
@@ -676,8 +811,15 @@ func (p *PHY) drainUL(cellID uint16, slot uint64) {
 	})
 
 	// Parallel part: pure compute only. DecodePrepared touches no HARQ,
-	// RNG, codec or engine state; results land by index.
-	outcomes := make([]DecodeOutcome, len(pending))
+	// RNG, codec or engine state; results land by index in the recycled
+	// scratch (zeroed first — !hadIQ entries must read as zero outcomes).
+	if cap(p.outcomes) < len(pending) {
+		p.outcomes = make([]DecodeOutcome, len(pending))
+	}
+	outcomes := p.outcomes[:len(pending)]
+	for i := range outcomes {
+		outcomes[i] = DecodeOutcome{}
+	}
 	iters := c.iters
 	par.ForEach(len(pending), func(i int) {
 		if pending[i].hadIQ {
@@ -685,10 +827,12 @@ func (p *PHY) drainUL(cellID uint16, slot uint64) {
 		}
 	})
 
-	// Sequential merge, back on the event-loop goroutine.
+	// Sequential merge, back on the event-loop goroutine. The outgoing
+	// RX_DATA/CRC messages are leased; ownership passes downstream with
+	// fapiOut (the PHY-side Orion releases them after forwarding).
 	okBefore, failBefore := p.Stats.DecodeOK, p.Stats.DecodeFail
-	crcs := make([]fapi.CRCResult, 0, len(ulCfg.PDUs))
-	var payloads []fapi.TBPayload
+	rx := fapi.GetRxData(cellID, slot)
+	crcInd := fapi.GetCRCIndication(cellID, slot)
 	for i := range pending {
 		pd := &pending[i]
 		out := outcomes[i]
@@ -710,13 +854,16 @@ func (p *PHY) drainUL(cellID uint16, slot uint64) {
 		}
 		c.codec.FinishPrepared(&pd.pb, out, c.pool, pd.ue, pd.harq)
 		p.Stats.WorkUnits += uint64(out.WorkUnits)
-		crcs = append(crcs, fapi.CRCResult{
+		crcInd.Results = append(crcInd.Results, fapi.CRCResult{
 			UEID: pd.ue, HARQID: pd.harq, OK: out.OK, SNRdB: float32(pd.snrAvg),
 		})
 		if out.OK {
 			p.Stats.DecodeOK++
-			payloads = append(payloads, fapi.TBPayload{
-				UEID: pd.ue, HARQID: pd.harq, Data: append([]byte(nil), pd.aux...),
+			// Copy the sidecar out of the received frame into an owned
+			// (recycled) buffer: the RX_DATA outlives the frame.
+			rx.Payloads = append(rx.Payloads, fapi.TBPayload{
+				UEID: pd.ue, HARQID: pd.harq,
+				Data: append(mem.GetBytesCap(len(pd.aux)), pd.aux...),
 			})
 		} else {
 			p.Stats.DecodeFail++
@@ -732,7 +879,7 @@ func (p *PHY) drainUL(cellID uint16, slot uint64) {
 		if f := c.snr[pdu.UEID]; f != nil {
 			snr = float32(f.Value())
 		}
-		crcs = append(crcs, fapi.CRCResult{UEID: pdu.UEID, HARQID: pdu.HARQID, OK: false, SNRdB: snr})
+		crcInd.Results = append(crcInd.Results, fapi.CRCResult{UEID: pdu.UEID, HARQID: pdu.HARQID, OK: false, SNRdB: snr})
 		p.Stats.DecodeFail++
 	}
 	if p.Trace != nil {
@@ -740,13 +887,27 @@ func (p *PHY) drainUL(cellID uint16, slot uint64) {
 		m.Counter("phy.decode.ok").Add(p.Stats.DecodeOK - okBefore)
 		m.Counter("phy.decode.fail").Add(p.Stats.DecodeFail - failBefore)
 	}
-	if len(payloads) > 0 {
-		p.fapiOut(&fapi.RxData{CellID: cellID, Slot: slot, Payloads: payloads})
+	if len(rx.Payloads) > 0 {
+		p.fapiOut(rx)
+	} else {
+		fapi.ReleaseShallow(rx)
 	}
-	if len(crcs) > 0 {
-		p.fapiOut(&fapi.CRCIndication{CellID: cellID, Slot: slot, Results: crcs})
+	if len(crcInd.Results) > 0 {
+		p.fapiOut(crcInd)
+	} else {
+		fapi.ReleaseShallow(crcInd)
+	}
+	if pending != nil {
+		for i := range pending {
+			pending[i] = pendingUL{}
+		}
+		c.pendFree = append(c.pendFree, pending[:0])
 	}
 	delete(c.ulPending, slot)
+	if seen != nil {
+		clear(seen)
+		c.seenFree = append(c.seenFree, seen)
+	}
 	delete(c.ulSeen, slot)
 }
 

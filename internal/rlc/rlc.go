@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"errors"
 
+	"slingshot/internal/mem"
 	"slingshot/internal/trace"
 )
 
@@ -63,12 +64,21 @@ func (t *Tx) QueueLen() int { return len(t.queue) }
 // segments) so MAC grants are always fillable. maxBytes below the minimum
 // header still yields a padding PDU.
 func (t *Tx) BuildPDU(maxBytes int) []byte {
-	pdu := make([]byte, pduHeader, maxInt(maxBytes, pduHeader))
-	binary.BigEndian.PutUint16(pdu[0:2], t.nextSN)
+	return t.AppendPDU(make([]byte, 0, maxInt(maxBytes, pduHeader)), maxBytes)
+}
+
+// AppendPDU is BuildPDU appending into dst (pass a recycled buffer to build
+// a PDU without allocating). maxBytes bounds the PDU itself, not dst's
+// prior contents.
+func (t *Tx) AppendPDU(dst []byte, maxBytes int) []byte {
+	base := len(dst)
+	var hdr4 [pduHeader]byte
+	binary.BigEndian.PutUint16(hdr4[0:2], t.nextSN)
+	dst = append(dst, hdr4[:]...)
 	t.nextSN++
 	nSegs := 0
 	for len(t.queue) > 0 {
-		room := maxBytes - len(pdu) - segHeader
+		room := maxBytes - (len(dst) - base) - segHeader
 		if room <= 0 {
 			break
 		}
@@ -88,8 +98,8 @@ func (t *Tx) BuildPDU(maxBytes int) []byte {
 		var hdr [segHeader]byte
 		hdr[0] = flags
 		binary.BigEndian.PutUint16(hdr[1:3], uint16(take))
-		pdu = append(pdu, hdr[:]...)
-		pdu = append(pdu, pkt[t.offset:t.offset+take]...)
+		dst = append(dst, hdr[:]...)
+		dst = append(dst, pkt[t.offset:t.offset+take]...)
 		t.Queued -= take
 		nSegs++
 		if take == remaining {
@@ -100,8 +110,8 @@ func (t *Tx) BuildPDU(maxBytes int) []byte {
 			break // PDU is full
 		}
 	}
-	binary.BigEndian.PutUint16(pdu[2:4], uint16(nSegs))
-	return pdu
+	binary.BigEndian.PutUint16(dst[base+2:base+4], uint16(nSegs))
+	return dst
 }
 
 func maxInt(a, b int) int {
@@ -166,22 +176,27 @@ func (r *Rx) Ingest(pdu []byte) ([][]byte, error) {
 		// Far ahead: jump the window, discarding the gap.
 		r.flushGapTo(sn)
 	}
-	r.pending[sn] = append([]byte(nil), pdu...)
+	// The buffered copy is pool-backed: every exit from the pending map
+	// (drain, flushGapTo, duplicate overwrite below) recycles it.
+	if old, dup := r.pending[sn]; dup {
+		mem.PutBytes(old)
+	}
+	r.pending[sn] = append(mem.GetBytesCap(len(pdu)), pdu...)
 	return r.drain()
 }
 
 // flushGapTo abandons all SNs before sn (reassembly timeout semantics).
 func (r *Rx) flushGapTo(sn uint16) {
 	for s := r.expected; s != sn; s++ {
-		if _, ok := r.pending[s]; !ok {
+		if pdu, ok := r.pending[s]; ok {
+			mem.PutBytes(pdu)
+			delete(r.pending, s)
+		} else if r.inPkt {
 			// A missing PDU kills any packet spanning it.
-			if r.inPkt {
-				r.discard()
-				r.partial = nil
-				r.inPkt = false
-			}
+			r.discard()
+			r.partial = nil
+			r.inPkt = false
 		}
-		delete(r.pending, s)
 	}
 	r.expected = sn
 }
@@ -225,6 +240,9 @@ func (r *Rx) drain() ([][]byte, error) {
 		delete(r.pending, r.expected)
 		r.expected++
 		pkts, err := r.parse(pdu)
+		// parse copied every segment it kept into r.partial, so the
+		// buffered PDU is dead either way.
+		mem.PutBytes(pdu)
 		if err != nil {
 			return out, err
 		}

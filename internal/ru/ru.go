@@ -9,6 +9,7 @@ package ru
 import (
 	"slingshot/internal/fapi"
 	"slingshot/internal/fronthaul"
+	"slingshot/internal/mem"
 	"slingshot/internal/netmodel"
 	"slingshot/internal/phy"
 	"slingshot/internal/sim"
@@ -123,8 +124,12 @@ func (r *RU) sendStatus(slot uint64) {
 	pkt := fronthaul.NewControl(r.Cfg.Cell, r.seq, fronthaul.Uplink,
 		fronthaul.SlotFromCounter(slot), 0)
 	r.seq++
-	pkt.Aux = fapi.EncodeUCIList(reports)
+	pkt.Aux = fapi.EncodeUCIListPooled(reports)
 	r.transmit(r.Cfg.StatusOffset, pkt, 0)
+	// transmit serialized the packet onto the wire synchronously, so both
+	// the leased Aux buffer and the packet struct are free again.
+	mem.PutBytes(pkt.Aux)
+	pkt.Recycle()
 	r.Stats.StatusTx++
 }
 
@@ -146,6 +151,10 @@ func (r *RU) collectUplink(slot uint64) {
 		// Virtual size: a full-carrier UL slot's IQ share for this UE.
 		virtual := len(iq) / 12 * fronthaul.BFPBlockBytes(r.Cfg.MantissaBits) * 4
 		r.transmit(r.Cfg.ULOffset, pkt, virtual)
+		// The wire copy is done; recycle the BFP payload and the packet
+		// struct. Aux is the UE's HARQ buffer — not the RU's to free.
+		mem.PutBytes(pkt.Payload)
+		pkt.Recycle()
 		r.Stats.ULDataTx++
 	}
 }

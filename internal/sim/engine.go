@@ -13,9 +13,24 @@ type Event struct {
 	Do   func()
 	Name string // optional label for tracing
 
+	// Argument-carrying form: doArg(arg) fires instead of Do when Do is
+	// nil. Lets callers schedule with a long-lived closure and a per-event
+	// payload, so the hot path allocates neither closure nor event.
+	doArg func(any)
+	arg   any
+
 	seq      uint64
 	index    int // heap index; -1 when not queued
 	canceled bool
+	pooled   bool // recycled onto the engine free list after firing
+}
+
+func (e *Event) fire() {
+	if e.Do != nil {
+		e.Do()
+		return
+	}
+	e.doArg(e.arg)
 }
 
 // Cancel marks the event so it will not fire. Safe to call multiple times
@@ -67,6 +82,13 @@ type Engine struct {
 	nextSeq uint64
 	stopped bool
 
+	// free holds fired pooled events for reuse. Only events scheduled via
+	// the *Pooled variants land here: those return no handle, so no caller
+	// can observe a recycled event through a stale pointer. Handle-returning
+	// At/After events are never recycled — Cancel/Remove after fire must
+	// stay a safe no-op.
+	free []*Event
+
 	// Processed counts events executed so far (observability).
 	Processed uint64
 }
@@ -91,12 +113,96 @@ func (e *Engine) At(at Time, name string, fn func()) *Event {
 	return ev
 }
 
+// Rearm re-queues an already-fired event at absolute time at, reusing the
+// struct. Intended for self-rescheduling periodic callbacks (Every) that
+// hold their own handle; the event must not currently be queued.
+func (e *Engine) rearm(ev *Event, at Time) {
+	e.push(ev, at, ev.Name)
+}
+
 // After schedules fn to run d after the current time.
 func (e *Engine) After(d Time, name string, fn func()) *Event {
 	if d < 0 {
 		d = 0
 	}
 	return e.At(e.now+d, name, fn)
+}
+
+// getFree returns a recycled event or a fresh one.
+func (e *Engine) getFree() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+// push (re)initializes ev and queues it.
+func (e *Engine) push(ev *Event, at Time, name string) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event %q at %v before now %v", name, at, e.now))
+	}
+	ev.At = at
+	ev.Name = name
+	ev.seq = e.nextSeq
+	ev.canceled = false
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+}
+
+// AtPooled schedules fn at absolute time at, recycling the event struct
+// after it fires. No handle is returned: pooled events cannot be canceled,
+// which is exactly what makes recycling safe (no stale *Event can reach a
+// reused event). Semantics (ordering, FIFO tie-break) match At.
+func (e *Engine) AtPooled(at Time, name string, fn func()) {
+	ev := e.getFree()
+	ev.Do = fn
+	ev.doArg = nil
+	ev.arg = nil
+	ev.pooled = true
+	e.push(ev, at, name)
+}
+
+// AfterPooled schedules fn to run d after the current time on a recycled
+// event. See AtPooled for the no-cancel contract.
+func (e *Engine) AfterPooled(d Time, name string, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.AtPooled(e.now+d, name, fn)
+}
+
+// AtArgPooled schedules fn(arg) at absolute time at on a recycled event.
+// With a long-lived fn (e.g. one per link) the schedule allocates nothing:
+// no closure, no event. See AtPooled for the no-cancel contract.
+func (e *Engine) AtArgPooled(at Time, name string, fn func(any), arg any) {
+	ev := e.getFree()
+	ev.Do = nil
+	ev.doArg = fn
+	ev.arg = arg
+	ev.pooled = true
+	e.push(ev, at, name)
+}
+
+// AfterArgPooled schedules fn(arg) to run d after the current time on a
+// recycled event. See AtArgPooled.
+func (e *Engine) AfterArgPooled(d Time, name string, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	e.AtArgPooled(e.now+d, name, fn, arg)
+}
+
+// recycle clears a fired pooled event and returns it to the free list.
+// Clearing drops closure/arg references so the pool never pins payloads.
+func (e *Engine) recycle(ev *Event) {
+	ev.Do = nil
+	ev.doArg = nil
+	ev.arg = nil
+	ev.Name = ""
+	e.free = append(e.free, ev)
 }
 
 // Remove cancels ev and deletes it from the queue immediately. Cancel
@@ -133,7 +239,10 @@ func (e *Engine) Every(delay, period Time, name string, fn func()) (cancel func(
 		}
 		fn()
 		if !stopped { // fn may have canceled us
-			pending = e.At(e.now+period, name, tick)
+			// Reuse the same event for every tick: it has already fired
+			// (popped from the heap), and the only outstanding handle is
+			// ours, so re-queueing it cannot confuse any caller.
+			e.rearm(pending, e.now+period)
 		}
 	}
 	pending = e.At(e.now+delay, name, tick)
@@ -152,11 +261,17 @@ func (e *Engine) Step() bool {
 		}
 		ev := heap.Pop(&e.queue).(*Event)
 		if ev.canceled {
+			if ev.pooled {
+				e.recycle(ev)
+			}
 			continue
 		}
 		e.now = ev.At
 		e.Processed++
-		ev.Do()
+		ev.fire()
+		if ev.pooled {
+			e.recycle(ev)
+		}
 		return true
 	}
 }
@@ -173,6 +288,9 @@ func (e *Engine) RunUntil(deadline Time) {
 		next := e.queue[0]
 		if next.canceled {
 			heap.Pop(&e.queue)
+			if next.pooled {
+				e.recycle(next)
+			}
 			continue
 		}
 		if next.At > deadline {
@@ -181,7 +299,10 @@ func (e *Engine) RunUntil(deadline Time) {
 		heap.Pop(&e.queue)
 		e.now = next.At
 		e.Processed++
-		next.Do()
+		next.fire()
+		if next.pooled {
+			e.recycle(next)
+		}
 	}
 	if e.now < deadline {
 		e.now = deadline

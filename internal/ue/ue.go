@@ -10,6 +10,7 @@ import (
 	"slingshot/internal/fapi"
 	"slingshot/internal/fronthaul"
 	"slingshot/internal/harq"
+	"slingshot/internal/mem"
 	"slingshot/internal/phy"
 	"slingshot/internal/rlc"
 	"slingshot/internal/sim"
@@ -143,6 +144,11 @@ func (u *UE) resetBearers() {
 	u.ulTx = rlc.NewTx()
 	u.dlRx = rlc.NewRx()
 	u.harqDL = harq.NewPool()
+	// HARQ TX buffers are pool-leased in PullUplink; a bearer reset is the
+	// other exit point for buffers still parked in the map.
+	for _, tb := range u.harqTx {
+		mem.PutBytes(tb)
+	}
 	u.harqTx = make(map[uint8][]byte)
 	u.grants = make(map[uint64]fronthaul.Section)
 	u.dlAssig = make(map[uint64][]fronthaul.Section)
@@ -372,14 +378,19 @@ func (u *UE) PullUplink(absSlot uint64) (iq []complex128, aux []byte, ok bool) {
 
 	var tb []byte
 	if sec.NewData {
-		tb = u.ulTx.BuildPDU(int(sec.TBBytes))
+		if old, held := u.harqTx[sec.HARQID]; held {
+			// The process's previous transmission was serialized onto the
+			// wire during its own PullUplink, so no alias outlives it.
+			mem.PutBytes(old)
+		}
+		tb = u.ulTx.AppendPDU(mem.GetBytesCap(int(sec.TBBytes)), int(sec.TBBytes))
 		u.harqTx[sec.HARQID] = tb
 	} else if stored, found := u.harqTx[sec.HARQID]; found {
 		tb = stored
 	} else {
 		// Retransmission grant for a process we no longer have (e.g.
 		// bearer reset); send fresh data instead.
-		tb = u.ulTx.BuildPDU(int(sec.TBBytes))
+		tb = u.ulTx.AppendPDU(mem.GetBytesCap(int(sec.TBBytes)), int(sec.TBBytes))
 		u.harqTx[sec.HARQID] = tb
 	}
 	// Scrambling keys on the transmission slot. Descrambling happens

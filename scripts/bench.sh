@@ -3,15 +3,92 @@
 # records per-benchmark mean ns/op, B/op and allocs/op into a dated JSON
 # file, so successive PRs can diff kernel and end-to-end performance.
 #
-# Usage: scripts/bench.sh [go-bench-regex]
+# Usage:
+#   scripts/bench.sh [go-bench-regex]
+#       run the suite and write OUT
+#   scripts/bench.sh --compare <baseline.json> [go-bench-regex]
+#       run the suite, write OUT, then diff OUT against the baseline and
+#       exit non-zero if any benchmark regressed any metric by more than
+#       THRESHOLD percent (default 15)
+#   scripts/bench.sh --diff <old.json> <new.json>
+#       just diff two existing result files with the same gate (no run)
+#
 # Env:
 #   COUNT=5            samples per benchmark (go test -count)
 #   BENCHTIME=         forwarded to -benchtime when set (e.g. 1x, 100ms)
 #   OUT=BENCH_....json output file (default BENCH_<date>.json)
 #   WORKERS=           sets SLINGSHOT_WORKERS for the run (recorded in meta)
+#   THRESHOLD=15       regression gate percentage for --compare / --diff
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# diff_results <old.json> <new.json>: per benchmark present in both files,
+# print the three metrics side by side and flag regressions beyond the
+# threshold. Absolute floors (1us, 64 B, 1 alloc) keep tiny-denominator
+# noise from tripping the relative gate. Exits 1 on any flagged regression.
+diff_results() {
+    awk -v thr="${THRESHOLD:-15}" '
+    # Entries are comma-separated key/value pairs in both the one-line and
+    # the pretty-printed JSON layout, so splitting records on commas parses
+    # either formatting.
+    BEGIN { RS = "," }
+    FNR == 1 { file++ }
+    function num(s) { sub(/.*:[ \t\n]*/, "", s); sub(/[^0-9.eE+-].*/, "", s); return s + 0 }
+    /"name"[ \t]*:/ {
+        name = $0
+        sub(/.*"name"[ \t]*:[ \t]*"/, "", name)
+        sub(/".*/, "", name)
+        if (file == 1) { if (!(name in inOld)) { oldOrder[no++] = name; inOld[name] = 1 } }
+        else           { if (!(name in inNew)) { newOrder[nn++] = name; inNew[name] = 1 } }
+    }
+    /"ns_op"[ \t]*:/     { v[file, name, "ns_op"]     = num($0) }
+    /"b_op"[ \t]*:/      { v[file, name, "b_op"]      = num($0) }
+    /"allocs_op"[ \t]*:/ { v[file, name, "allocs_op"] = num($0) }
+    END {
+        floor["ns_op"] = 1000; floor["b_op"] = 64; floor["allocs_op"] = 1
+        fail = 0
+        printf "%-24s %-10s %16s %16s %10s\n", "benchmark", "metric", "baseline", "new", "delta"
+        for (i = 0; i < nn; i++) {
+            name = newOrder[i]
+            if (!(name in inOld)) {
+                printf "%-24s (new benchmark, no baseline entry)\n", name
+                continue
+            }
+            nm = split("ns_op b_op allocs_op", metrics, " ")
+            for (j = 1; j <= nm; j++) {
+                m = metrics[j]
+                old = v[1, name, m]; new = v[2, name, m]
+                mark = ""
+                if (new > old * (1 + thr / 100) + floor[m]) { mark = "  REGRESSION"; fail = 1 }
+                if (old > 0)
+                    printf "%-24s %-10s %16.1f %16.1f %+9.1f%%%s\n", name, m, old, new, (new - old) / old * 100, mark
+                else
+                    printf "%-24s %-10s %16.1f %16.1f %10s%s\n", name, m, old, new, "n/a", mark
+            }
+        }
+        for (i = 0; i < no; i++)
+            if (!(oldOrder[i] in inNew))
+                printf "%-24s (present in baseline, missing from new run)\n", oldOrder[i]
+        if (fail) { printf "FAIL: at least one metric regressed beyond %d%%\n", thr; exit 1 }
+        printf "OK: no metric regressed beyond %d%%\n", thr
+    }' "$1" "$2"
+}
+
+BASELINE=""
+case "${1:-}" in
+--diff)
+    [ $# -eq 3 ] || { echo "usage: scripts/bench.sh --diff <old.json> <new.json>" >&2; exit 2; }
+    diff_results "$2" "$3"
+    exit $?
+    ;;
+--compare)
+    BASELINE="${2:?usage: scripts/bench.sh --compare <baseline.json> [go-bench-regex]}"
+    [ -f "$BASELINE" ] || { echo "baseline $BASELINE not found" >&2; exit 2; }
+    shift 2
+    ;;
+esac
+
 PATTERN="${1:-.}"
 COUNT="${COUNT:-5}"
 OUT="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
@@ -65,3 +142,8 @@ END {
 }' "$TXT" > "$OUT"
 
 echo "wrote $OUT"
+
+if [ -n "$BASELINE" ]; then
+    echo "== compare against $BASELINE (threshold ${THRESHOLD:-15}%) =="
+    diff_results "$BASELINE" "$OUT"
+fi

@@ -36,10 +36,22 @@ SLINGSHOT_WORKERS=4 go test -race ./internal/trace -run 'TestGoldenTrace' -count
 SLINGSHOT_WORKERS=4 go test -race ./internal/chaos -run 'TestFlightRecorder|TestCleanRunHasNoFlightDump' -count=1
 go test -race . -run 'TestReportsInvariantToWorkerCount/chaos-trace' -count=1
 
-echo "== bench smoke (-benchtime=1x) =="
-# One iteration of every benchmark: asserts the bench harness itself and
-# the benchmarks' setup code stay healthy without paying for real timing.
-go test -run '^$' -bench . -benchtime=1x ./... > /dev/null
+echo "== bench smoke + compare gate (-benchtime=1x) =="
+# One iteration of every benchmark through the JSON harness (asserts the
+# harness and the benchmarks' setup code stay healthy), then the --compare
+# gate's own logic: a result file diffed against itself must pass, and a
+# doctored ~10x ns/op regression must make the gate exit non-zero. Timing
+# at 1x is too noisy to diff against the committed baseline here; use
+# `scripts/bench.sh --compare BENCH_<date>_baseline.json` for that.
+SMOKE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE"' EXIT
+BENCHTIME=1x COUNT=1 OUT="$SMOKE/now.json" scripts/bench.sh > /dev/null
+scripts/bench.sh --diff "$SMOKE/now.json" "$SMOKE/now.json" > /dev/null
+sed 's/"ns_op": /"ns_op": 9/' "$SMOKE/now.json" > "$SMOKE/slow.json"
+if scripts/bench.sh --diff "$SMOKE/now.json" "$SMOKE/slow.json" > /dev/null 2>&1; then
+    echo "bench compare gate failed to flag a 10x ns/op regression" >&2
+    exit 1
+fi
 
 echo "== fuzz smoke (${FUZZTIME}/target) =="
 for target in \
