@@ -10,15 +10,20 @@
 //	experiments -run fig8
 //	experiments -run all -scale 0.5
 //	experiments -chaos light -seed 5 -trace chaos.json
+//	experiments -cells 100 -ues 10000
+//	experiments -cells 12 -ues 144 -fleet-chaos -shards 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"slingshot/internal/chaos"
 	"slingshot/internal/experiments"
+	"slingshot/internal/shard"
+	"slingshot/internal/sim"
 )
 
 func main() {
@@ -27,11 +32,21 @@ func main() {
 		scale     = flag.Float64("scale", 1.0, "duration scale in (0,1]; 1 = paper-scale")
 		list      = flag.Bool("list", false, "list experiment ids")
 		chaosProf = flag.String("chaos", "", "run one traced chaos schedule with this profile (light, default, heavy) instead of an experiment")
-		seed      = flag.Uint64("seed", 1, "chaos schedule seed (with -chaos)")
+		seed      = flag.Uint64("seed", 1, "schedule seed (with -chaos or -cells)")
 		tracePath = flag.String("trace", "", "write the chaos run's Chrome trace_event JSON here (with -chaos)")
+
+		cells      = flag.Int("cells", 0, "run the sharded metro scenario with this many cells instead of an experiment")
+		ues        = flag.Int("ues", 0, "total UEs across the metro fleet (with -cells)")
+		shards     = flag.Int("shards", 0, "shard-group count (0 = SLINGSHOT_SHARDS, then GOMAXPROCS); reports are identical at any value")
+		fleetChaos = flag.Bool("fleet-chaos", false, "use the fleet-chaos scenario: PHY kills + pooled spares + migration storm (with -cells)")
+		horizon    = flag.Duration("horizon", 0, "override the metro virtual run length (with -cells)")
 	)
 	flag.Parse()
 
+	if *cells > 0 {
+		runMetro(*cells, *ues, *shards, *seed, *fleetChaos, *horizon)
+		return
+	}
 	if *chaosProf != "" {
 		runTracedChaos(*chaosProf, *seed, *tracePath)
 		return
@@ -63,6 +78,36 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(r)
+}
+
+// runMetro executes one sharded metro-scale fleet run and prints its
+// deterministic report. Exit status 1 when any cell violated an
+// invariant.
+func runMetro(cells, ues, shards int, seed uint64, fleetChaos bool, horizon time.Duration) {
+	if ues <= 0 {
+		ues = cells * 100
+	}
+	cfg := shard.DefaultConfig(cells, ues)
+	if fleetChaos {
+		cfg = shard.ChaosConfig(cells, ues)
+	}
+	cfg.Seed = seed
+	cfg.Shards = shards
+	if horizon != 0 {
+		cfg.Horizon = sim.FromDuration(horizon)
+	}
+	rep, err := shard.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Print(rep.String())
+	fmt.Printf("lockstep: %d barrier steps of %v\n",
+		int64(cfg.Horizon/cfg.Step), cfg.Step.Duration())
+	if rep.Err() != nil {
+		fmt.Fprintln(os.Stderr, rep.Err())
+		os.Exit(1)
+	}
 }
 
 // runTracedChaos executes one seeded chaos schedule with event tracing on,

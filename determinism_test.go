@@ -12,6 +12,69 @@ import (
 	"slingshot/internal/par"
 )
 
+// TestReportsInvariantToShardCount extends the worker-count contract to
+// the sharded fleet: the metro scenario and the fleet-chaos scenario must
+// render byte-identical reports at every shard-group count × worker-pool
+// width combination. The mailbox's (virtualTime, srcShard, seq) drain
+// order is what makes this hold — srcShard is the logical cell index, so
+// regrouping cells onto different runner goroutines cannot reorder
+// deliveries.
+func TestReportsInvariantToShardCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: fleet runs at four shard/worker combinations")
+	}
+	cases := []struct {
+		name string
+		run  func(shards int) (string, error)
+	}{
+		{"metro", func(shards int) (string, error) {
+			return Metro(MetroOptions{Cells: 6, UEs: 36, Shards: shards, Seed: 11})
+		}},
+		{"fleet-chaos", func(shards int) (string, error) {
+			return Metro(MetroOptions{Cells: 6, UEs: 36, Shards: shards, Seed: 11, Chaos: true})
+		}},
+		{"metro-trace", func(shards int) (string, error) {
+			return Metro(MetroOptions{Cells: 4, UEs: 16, Shards: shards, Seed: 2, Trace: true})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := ""
+			for _, shards := range []int{1, 4} {
+				for _, workers := range []int{1, 4} {
+					prev := par.SetWorkers(workers)
+					got, err := tc.run(shards)
+					par.SetWorkers(prev)
+					if err != nil {
+						t.Fatalf("shards=%d workers=%d: %v\n%s", shards, workers, err, got)
+					}
+					if base == "" {
+						base = got
+					} else if got != base {
+						t.Fatalf("report differs at shards=%d workers=%d:\n--- base ---\n%s\n--- got ---\n%s",
+							shards, workers, base, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMetroSoakShardAware: fleet soaks surface per-cell reports through
+// the shard-aware chaos.SoakReports path.
+func TestMetroSoakShardAware(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: fleet soak")
+	}
+	if failing, ok := MetroSoak(2, 4, 16); !ok {
+		t.Fatalf("fleet soak failed:\n%s", failing)
+	}
+	// Invalid fleet shapes must fail the soak, not silently pass.
+	if _, ok := MetroSoak(1, 2, 1); ok {
+		t.Fatal("soak passed a fleet with empty cells")
+	}
+}
+
 func TestFig8Deterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fig8 is slow")

@@ -59,6 +59,18 @@ func parseSeq(pkt []byte, dir byte) (uint64, bool) {
 	return seq, true
 }
 
+// TrafficPacket builds one sequence-stamped traffic packet in the chaos
+// framing, understood by Checker.ObserveUplink/ObserveDownlink — exported
+// so external traffic generators (the shard fleet) feed the same in-order
+// delivery invariant.
+func TrafficPacket(down bool, flow uint16, seq uint64, size int) []byte {
+	dir := byte(dirUp)
+	if down {
+		dir = dirDown
+	}
+	return stampPacket(dir, flow, seq, size)
+}
+
 // interceptor sits on one fronthaul cable (it wraps the link's receiver)
 // and applies the currently armed perturbations to eCPRI frames only.
 // Burst executors toggle the probability fields; outside bursts every
@@ -265,6 +277,11 @@ func (r *Report) String() string {
 	return s
 }
 
+// Finalize computes the fingerprint from the report's rendered body.
+// chaos.Run calls it implicitly; external report builders (per-cell fleet
+// reports) call it once after filling in the fields.
+func (r *Report) Finalize() { r.Fingerprint = fnv64(r.body()) }
+
 // Err returns a non-nil error when any invariant was violated.
 func (r *Report) Err() error {
 	if r.TotalViolations == 0 {
@@ -345,12 +362,12 @@ func RunTraced(seed uint64, p Profile) (*Report, *trace.Recorder) {
 
 	d := core.NewSlingshot(cfg)
 	r := &runner{
-		seed: seed,
-		p:    p,
-		d:    d,
-		eng:  d.Engine,
-		rec:  cfg.Trace,
-		taps: make(map[uint16][2]*interceptor),
+		seed:  seed,
+		p:     p,
+		d:     d,
+		eng:   d.Engine,
+		rec:   cfg.Trace,
+		taps:  make(map[uint16][2]*interceptor),
 		ulSeq: make(map[uint16]uint64),
 		dlSeq: make(map[uint16]uint64),
 		rep: &Report{
@@ -398,7 +415,7 @@ func ueIDs(specs []core.UESpec) []uint16 {
 func (r *runner) installInterceptors(crng *sim.RNG) {
 	for _, cell := range r.cells {
 		addr := netmodel.RUAddr(cell)
-		up := r.d.Links[addr]        // RU → switch
+		up := r.d.Links[addr]         // RU → switch
 		down := r.d.Switch.Port(addr) // switch → RU
 		icUp := &interceptor{eng: r.eng, rng: crng.Fork(0x100 + uint64(cell)), inner: up.To,
 			rec: r.rec, cell: cell, dir: 0}
@@ -687,6 +704,6 @@ func (r *runner) finalize() *Report {
 		ul, dl := r.chk.Delivered(id)
 		rep.Flows = append(rep.Flows, FlowStat{UE: id, UL: ul, DL: dl})
 	}
-	rep.Fingerprint = fnv64(rep.body())
+	rep.Finalize()
 	return rep
 }

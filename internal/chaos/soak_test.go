@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"flag"
+	"fmt"
 	"testing"
 
 	"slingshot/internal/mem"
@@ -94,6 +95,39 @@ func TestSoakReportsMinimalFailingSeed(t *testing.T) {
 	}
 	if rep.Err() == nil {
 		t.Fatal("failing report must return a non-nil Err")
+	}
+}
+
+// TestSoakReportsShardAware: one seed may span many shards (a fleet's
+// per-cell reports); the soak must surface the first failing report in
+// (seed, position) order — the minimal seed, then the lowest cell.
+func TestSoakReportsShardAware(t *testing.T) {
+	stub := func(seed uint64) []*Report {
+		// Three "cells" per seed; seed 2 fails in cells 1 and 2.
+		out := make([]*Report, 3)
+		for cell := range out {
+			rep := &Report{Seed: seed, Profile: fmt.Sprintf("fleet-cell%d", cell)}
+			if seed == 2 && cell >= 1 {
+				rep.TotalViolations = 1
+				rep.Violations = []Violation{{Invariant: "stub", Detail: "injected"}}
+			}
+			out[cell] = rep
+		}
+		return out
+	}
+	rep, ok := SoakReports(5, stub)
+	if ok {
+		t.Fatal("stubbed fleet violation not detected")
+	}
+	if rep.Seed != 2 || rep.Profile != "fleet-cell1" {
+		t.Fatalf("reported seed %d profile %q, want minimal (seed 2, fleet-cell1)", rep.Seed, rep.Profile)
+	}
+
+	// All-clean fleets pass.
+	if _, ok := SoakReports(3, func(seed uint64) []*Report {
+		return []*Report{{Seed: seed}, {Seed: seed}}
+	}); !ok {
+		t.Fatal("clean fleet soak reported failure")
 	}
 }
 

@@ -137,7 +137,7 @@ func FuzzCompressBFP(f *testing.F) {
 		}
 		iq := make([]complex128, n)
 		for i := range iq {
-			re := (float64(data[2*i]) - 128) / 16   // [-8, 7.94]
+			re := (float64(data[2*i]) - 128) / 16 // [-8, 7.94]
 			im := (float64(data[2*i+1]) - 128) / 16
 			iq[i] = complex(re, im)
 		}

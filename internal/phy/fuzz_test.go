@@ -35,8 +35,8 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		}
 
 		// Perturbed inputs must not panic (outcomes may legitimately fail).
-		c.DecodeBlock(tx, slot+1, ue, m, nil, 0, true, DefaultFECIter)   // wrong scrambling slot
-		c.DecodeBlock(tx, slot, ue^1, m, nil, 0, true, DefaultFECIter)   // wrong UE identity
+		c.DecodeBlock(tx, slot+1, ue, m, nil, 0, true, DefaultFECIter) // wrong scrambling slot
+		c.DecodeBlock(tx, slot, ue^1, m, nil, 0, true, DefaultFECIter) // wrong UE identity
 		c.DecodeBlock(tx[:len(tx)/2], slot, ue, m, nil, 0, true, DefaultFECIter)
 		c.DecodeBlock(nil, slot, ue, m, nil, 0, true, DefaultFECIter)
 	})

@@ -1,0 +1,59 @@
+package shard
+
+import (
+	"testing"
+
+	"slingshot/internal/sim"
+)
+
+// BenchmarkMetroScale is the committed fleet-scale number
+// (BENCH_*_metro.json): a 12-cell / 240-UE metro with ring backhaul
+// advancing in lockstep for 100 ms of virtual time — per-op cost is the
+// whole fleet run including bring-up, exchange barriers and teardown.
+func BenchmarkMetroScale(b *testing.B) {
+	cfg := DefaultConfig(12, 240)
+	cfg.Horizon = 100 * sim.Millisecond
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Err() != nil {
+			b.Fatal(rep.Err())
+		}
+	}
+}
+
+// BenchmarkMailboxExchange isolates the inter-shard plumbing: encode,
+// post, drain and decode 1k messages in canonical order.
+func BenchmarkMailboxExchange(b *testing.B) {
+	frames := make([][]byte, 1000)
+	for i := range frames {
+		m := Message{
+			At:   sim.Time(i % 97),
+			Src:  uint16(i % 31),
+			Seq:  uint64(i),
+			Dst:  uint16((i + 1) % 31),
+			Kind: KindBackhaul,
+			A:    uint64(i),
+		}
+		frames[i] = Encode(&m)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var mb Mailbox
+		for _, f := range frames {
+			m, err := Decode(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mb.Post(m)
+		}
+		n := mb.DrainUpTo(1<<40, func(Message) {})
+		if n != len(frames) {
+			b.Fatalf("drained %d of %d", n, len(frames))
+		}
+	}
+}

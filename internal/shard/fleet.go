@@ -1,0 +1,674 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+
+	"slingshot/internal/chaos"
+	"slingshot/internal/core"
+	"slingshot/internal/mem"
+	"slingshot/internal/par"
+	"slingshot/internal/phy"
+	"slingshot/internal/sim"
+	"slingshot/internal/trace"
+)
+
+// Config describes a fleet run. Everything that can change the report is
+// here; the shard-group count and worker-pool width are deliberately NOT
+// rendered into the report, because the determinism contract says they
+// must not matter.
+type Config struct {
+	// Cells is the fleet size; UEs is the total device count, spread
+	// evenly across cells (per-cell count capped at 104 by the carrier's
+	// PRB budget).
+	Cells int
+	UEs   int
+
+	// Shards is the runner-group count: cells are partitioned into this
+	// many groups, each advanced by one internal/par worker per lockstep
+	// step. 0 reads SLINGSHOT_SHARDS, falling back to GOMAXPROCS. Purely
+	// an execution knob — reports are byte-identical for any value.
+	Shards int
+
+	// Seed drives every per-cell deployment seed and the fault schedule.
+	Seed uint64
+
+	// Horizon is the virtual run length; Step is the lockstep barrier
+	// interval (default one TTI). Settle is the fault-free warmup.
+	Horizon sim.Time
+	Step    sim.Time
+	Settle  sim.Time
+
+	// TrafficPeriod/PacketBytes shape the per-UE background load
+	// (sequence-stamped packets, checked for in-order delivery).
+	TrafficPeriod sim.Time
+	PacketBytes   int
+
+	// BackhaulPeriod is the X2 load-report interval per cell;
+	// BackhaulLatency is the inter-shard delivery latency (floored at
+	// Step — the conservative-synchronization lookahead).
+	BackhaulPeriod  sim.Time
+	BackhaulLatency sim.Time
+
+	// Fault plan: Kills crashes the active PHY of that many distinct
+	// cells (drawn from the seed); each killed cell asks the controller
+	// for one of Spares pooled spare PHYs. Migrations is a fleet-wide
+	// storm of controller-ordered planned migrations.
+	Kills      int
+	Spares     int
+	Migrations int
+
+	// Trace arms a per-cell trace recorder and aggregates every cell's
+	// counters into the report (shard-tagged via the fleet registry).
+	Trace bool
+}
+
+// maxUEsPerCell keeps every UE at ≥1 PRB under the L2's equal-share
+// allocator (dsp.MaxPRB = 106, minus headroom for allocation rounding).
+const maxUEsPerCell = 104
+
+// DefaultConfig returns a metro scenario: cells/ues as given, no faults,
+// ring backhaul reporting, light per-UE traffic.
+func DefaultConfig(cells, ues int) Config {
+	return Config{
+		Cells:           cells,
+		UEs:             ues,
+		Seed:            1,
+		Horizon:         150 * sim.Millisecond,
+		Step:            phy.TTI,
+		Settle:          40 * sim.Millisecond,
+		TrafficPeriod:   10 * sim.Millisecond,
+		PacketBytes:     96,
+		BackhaulPeriod:  20 * sim.Millisecond,
+		BackhaulLatency: 2 * phy.TTI,
+	}
+}
+
+// ChaosConfig returns the fleet-chaos scenario: kills across a quarter of
+// the fleet contending for a half-sized spare pool, plus a migration
+// storm — the §8.2 bound must hold per cell throughout.
+func ChaosConfig(cells, ues int) Config {
+	cfg := DefaultConfig(cells, ues)
+	cfg.Horizon = 300 * sim.Millisecond
+	cfg.Kills = (cells + 3) / 4
+	cfg.Spares = (cfg.Kills + 1) / 2
+	cfg.Migrations = cells / 2
+	return cfg
+}
+
+// CellStat is one cell's aggregated outcome.
+type CellStat struct {
+	Cell       int
+	UEs        int
+	UL, DL     uint64 // delivered in-order application packets
+	BackhaulRx uint64
+	HandoverRx uint64
+	Digest     uint64 // order-sensitive hash of received messages
+	Dropped    uint64 // total dropped TTIs (§8.2 gap sum)
+	Active     uint8  // serving PHY server at end of run
+	Violations int
+	Killed     bool
+	SpareOK    bool // granted a pooled spare after its kill
+}
+
+// Report is the deterministic outcome of one fleet run.
+type Report struct {
+	Cfg         Config
+	Cells       []CellStat
+	Grants      int
+	Denials     int
+	MigrateCmds int
+	Exchanged   uint64 // inter-shard messages delivered
+	Violations  int
+	violations  []string
+	counters    string // aggregated exposition (Trace only)
+	Fingerprint uint64
+}
+
+func (r *Report) body() string {
+	var b strings.Builder
+	c := r.Cfg
+	fmt.Fprintf(&b, "fleet run: cells=%d ues=%d seed=%d horizon=%.3fs step=%dus\n",
+		c.Cells, c.UEs, c.Seed, float64(c.Horizon)/float64(sim.Second), int64(c.Step/sim.Microsecond))
+	fmt.Fprintf(&b, "fault plan: kills=%d spares=%d migrations=%d settle=%.3fs\n",
+		c.Kills, c.Spares, c.Migrations, float64(c.Settle)/float64(sim.Second))
+	for _, cs := range r.Cells {
+		flags := ""
+		if cs.Killed {
+			flags = " killed"
+			if cs.SpareOK {
+				flags += "+respared"
+			}
+		}
+		fmt.Fprintf(&b, "cell %4d: ues=%d ul=%d dl=%d bh=%d ho=%d digest=%016x dropped=%d active=%d viol=%d%s\n",
+			cs.Cell, cs.UEs, cs.UL, cs.DL, cs.BackhaulRx, cs.HandoverRx,
+			cs.Digest, cs.Dropped, cs.Active, cs.Violations, flags)
+	}
+	fmt.Fprintf(&b, "controller: grants=%d denials=%d migrate-cmds=%d exchanged=%d\n",
+		r.Grants, r.Denials, r.MigrateCmds, r.Exchanged)
+	fmt.Fprintf(&b, "violations: %d\n", r.Violations)
+	for _, v := range r.violations {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	b.WriteString(r.counters)
+	return b.String()
+}
+
+// String renders the report with its fingerprint line. Byte-identical for
+// equal configs at any shard-group count and worker-pool width.
+func (r *Report) String() string {
+	return r.body() + fmt.Sprintf("fingerprint: %016x\n", r.Fingerprint)
+}
+
+// Err is non-nil when any cell violated a cross-layer invariant.
+func (r *Report) Err() error {
+	if r.Violations == 0 {
+		return nil
+	}
+	first := ""
+	if len(r.violations) > 0 {
+		first = ": " + r.violations[0]
+	}
+	return fmt.Errorf("shard: fleet seed %d violated %d invariant(s)%s", r.Cfg.Seed, r.Violations, first)
+}
+
+const (
+	fnvOffset = uint64(0xcbf29ce484222325)
+	fnvPrime  = uint64(0x100000001b3)
+)
+
+func fnvMix(h uint64, vs ...uint64) uint64 {
+	for _, v := range vs {
+		for i := 0; i < 8; i++ {
+			h ^= uint64(byte(v >> (8 * i)))
+			h *= fnvPrime
+		}
+	}
+	return h
+}
+
+func fnvString(s string) uint64 {
+	h := fnvOffset
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// cellSim is one logical shard: a full single-cell deployment on its own
+// engine, plus its outbox and fleet-visible stats. All fields are touched
+// only by the goroutine currently stepping the shard (between barriers)
+// or by the coordinator (at barriers) — never both at once.
+type cellSim struct {
+	idx int
+	d   *core.Deployment
+	eng *sim.Engine
+	chk *chaos.Checker
+	rec *trace.Recorder
+
+	msgSeq uint64
+	out    [][]byte // encoded wire frames accumulated this step
+
+	stat   CellStat
+	ulSeq  []uint64 // per-UE stamp sequences (index = UE id - 1)
+	dlSeq  []uint64
+	cancel []func()
+}
+
+// send encodes one message into the shard's outbox. Runs on the cell's
+// engine (any runner goroutine); only this shard touches its outbox.
+func (cs *cellSim) send(dst uint16, kind Kind, latency sim.Time, a, b uint64, payload []byte) {
+	cs.msgSeq++
+	m := Message{
+		At:      cs.eng.Now() + latency,
+		Src:     uint16(cs.idx),
+		Dst:     dst,
+		Seq:     cs.msgSeq,
+		Kind:    kind,
+		A:       a,
+		B:       b,
+		Payload: payload,
+	}
+	buf := m.AppendEncode(mem.GetBytesCap(m.EncodedLen()))
+	cs.out = append(cs.out, buf)
+}
+
+// onMessage handles one delivered inter-shard message on the cell's own
+// engine at the message's virtual delivery time.
+func (cs *cellSim) onMessage(f *Fleet, m Message) {
+	cs.stat.Digest = fnvMix(cs.stat.Digest, uint64(m.Src), m.Seq, uint64(m.Kind), m.A, m.B)
+	for _, by := range m.Payload {
+		cs.stat.Digest = fnvMix(cs.stat.Digest, uint64(by))
+	}
+	switch m.Kind {
+	case KindBackhaul:
+		cs.stat.BackhaulRx++
+	case KindHandover:
+		cs.stat.HandoverRx++
+	case KindSpareGrant:
+		if err := cs.d.ProvisionSpare(cs.d.Cfg.Cell); err == nil {
+			cs.stat.SpareOK = true
+		}
+	case KindSpareDeny:
+		// Pool exhausted: run unprotected and offload load units to the
+		// ring neighbor so the fleet rebalances.
+		cs.send(uint16((cs.idx+1)%f.cfg.Cells), KindHandover, f.latency, m.A, 0, nil)
+	case KindMigrateCmd:
+		// Controller-ordered switch-rule update: plan a zero-downtime
+		// migration to the standby. Refusals (dead standby) are fine.
+		cs.d.PlannedMigrationOf(cs.d.Cfg.Cell)
+	}
+}
+
+// Fleet is the sharded multi-cell engine.
+type Fleet struct {
+	cfg     Config
+	latency sim.Time
+	cells   []*cellSim
+	groups  [][]int
+	mbox    Mailbox
+
+	ctlSeq     uint64
+	sparesLeft int
+	grants     int
+	denials    int
+	migPlan    []migCmd
+	migPosted  int
+	exchanged  uint64
+	reg        *trace.Registry
+}
+
+type migCmd struct {
+	at   sim.Time
+	cell int
+}
+
+// shardGroups reads SLINGSHOT_SHARDS (the execution knob mirroring
+// SLINGSHOT_WORKERS), falling back to GOMAXPROCS.
+func shardGroups() int {
+	if v := os.Getenv("SLINGSHOT_SHARDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// New validates the config and builds the fleet: one deployment per cell,
+// faults scheduled, tickers armed. Call Run to execute.
+func New(cfg Config) (*Fleet, error) {
+	if cfg.Cells < 1 {
+		return nil, fmt.Errorf("shard: need at least one cell (got %d)", cfg.Cells)
+	}
+	if cfg.Cells > int(ControllerID) {
+		return nil, fmt.Errorf("shard: cell count %d overflows shard id space", cfg.Cells)
+	}
+	perCell := cfg.UEs / cfg.Cells
+	if perCell < 1 {
+		return nil, fmt.Errorf("shard: %d UEs over %d cells leaves empty cells", cfg.UEs, cfg.Cells)
+	}
+	if perCell > maxUEsPerCell {
+		return nil, fmt.Errorf("shard: %d UEs/cell exceeds the %d-UE carrier budget", perCell, maxUEsPerCell)
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = phy.TTI
+	}
+	if cfg.Horizon < cfg.Step {
+		return nil, fmt.Errorf("shard: horizon %v shorter than one step %v", cfg.Horizon, cfg.Step)
+	}
+	if cfg.Settle >= cfg.Horizon {
+		// Short metro-smoke horizons: warm up for a quarter of the run.
+		cfg.Settle = cfg.Horizon / 4
+	}
+	if cfg.BackhaulLatency < cfg.Step {
+		// The conservative-synchronization lookahead: a message sent
+		// during step (T-Δ, T] must not be deliverable before T.
+		cfg.BackhaulLatency = cfg.Step
+	}
+	if cfg.Kills > cfg.Cells {
+		cfg.Kills = cfg.Cells
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = shardGroups()
+	}
+	if shards > cfg.Cells {
+		shards = cfg.Cells
+	}
+
+	f := &Fleet{cfg: cfg, latency: cfg.BackhaulLatency, sparesLeft: cfg.Spares}
+	if cfg.Trace {
+		f.reg = trace.NewRegistry()
+	}
+
+	// Partition cells into contiguous runner groups (balanced within 1).
+	f.groups = make([][]int, shards)
+	for i := 0; i < cfg.Cells; i++ {
+		g := i * shards / cfg.Cells
+		f.groups[g] = append(f.groups[g], i)
+	}
+
+	root := sim.NewRNG(cfg.Seed ^ 0x5417AD0F1EE7C311)
+	killRNG := root.Fork(1)
+	migRNG := root.Fork(2)
+
+	for i := 0; i < cfg.Cells; i++ {
+		f.cells = append(f.cells, f.buildCell(i, perCell))
+	}
+
+	// Kills hit distinct cells at seed-drawn times inside the fault
+	// window; each killed cell asks the controller for a pooled spare.
+	if cfg.Kills > 0 {
+		lo, hi := cfg.Settle, cfg.Horizon-60*sim.Millisecond
+		if hi <= lo {
+			hi = lo + 10*sim.Millisecond
+		}
+		perm := killRNG.Perm(cfg.Cells)
+		for k := 0; k < cfg.Kills; k++ {
+			cs := f.cells[perm[k]]
+			t := lo + sim.Time(killRNG.Float64()*float64(hi-lo))
+			cs.eng.At(t, "fleet.kill", func() { f.execKill(cs) })
+		}
+	}
+
+	// Migration storm: controller-ordered planned migrations, posted
+	// through the mailbox at their due barrier.
+	if cfg.Migrations > 0 {
+		lo, hi := cfg.Settle, cfg.Horizon-40*sim.Millisecond
+		if hi <= lo {
+			hi = lo + 10*sim.Millisecond
+		}
+		for k := 0; k < cfg.Migrations; k++ {
+			f.migPlan = append(f.migPlan, migCmd{
+				at:   lo + sim.Time(migRNG.Float64()*float64(hi-lo)),
+				cell: migRNG.Intn(cfg.Cells),
+			})
+		}
+		sort.Slice(f.migPlan, func(a, b int) bool {
+			if f.migPlan[a].at != f.migPlan[b].at {
+				return f.migPlan[a].at < f.migPlan[b].at
+			}
+			return f.migPlan[a].cell < f.migPlan[b].cell
+		})
+	}
+	return f, nil
+}
+
+// buildCell constructs one logical shard: a single-cell deployment whose
+// seed tree, cell scrambling seed and UE population derive only from the
+// fleet seed and the cell index.
+func (f *Fleet) buildCell(idx, perCell int) *cellSim {
+	ccfg := core.DefaultConfig()
+	ccfg.Seed = f.cfg.Seed*0x9E3779B97F4A7C15 + uint64(idx+1)
+	ccfg.Cell = 0
+	ccfg.CellSeed = 0x517E ^ uint64(idx)*0x1001
+	if f.cfg.Kills > 0 {
+		ccfg.SpareServer = 3
+	}
+	ccfg.UEs = nil
+	for j := 0; j < perCell; j++ {
+		ccfg.UEs = append(ccfg.UEs, core.UESpec{
+			ID:        uint16(j + 1),
+			Name:      fmt.Sprintf("c%d-u%d", idx, j+1),
+			MeanSNRdB: 16 + float64((7*idx+13*j)%12),
+		})
+	}
+	if f.cfg.Trace {
+		ccfg.Trace = trace.NewRecorder(512)
+	}
+
+	d := core.NewSlingshot(ccfg)
+	cs := &cellSim{
+		idx:   idx,
+		d:     d,
+		eng:   d.Engine,
+		rec:   ccfg.Trace,
+		ulSeq: make([]uint64, perCell),
+		dlSeq: make([]uint64, perCell),
+		stat:  CellStat{Cell: idx, UEs: perCell},
+	}
+	cs.chk = chaos.Attach(d)
+
+	// Delivered-traffic sinks feed the invariant checker and the stats.
+	d.OnUplink(func(ueID uint16, pkt []byte) {
+		cs.chk.ObserveUplink(ueID, pkt)
+		cs.stat.UL++
+	})
+	for j := 0; j < perCell; j++ {
+		u := d.UEs[uint16(j+1)]
+		uid := uint16(j + 1)
+		inner := u.OnDownlink
+		u.OnDownlink = func(pkt []byte) {
+			cs.chk.ObserveDownlink(uid, pkt)
+			cs.stat.DL++
+			if inner != nil {
+				inner(pkt)
+			}
+		}
+	}
+
+	// Background traffic: one stamped UL+DL packet per UE per period,
+	// stopping early so tails drain before the horizon.
+	if f.cfg.TrafficPeriod > 0 {
+		// Stop traffic before the horizon so in-flight tails drain; short
+		// metro-smoke horizons scale the margin down.
+		drain := f.cfg.Horizon / 5
+		if drain > 30*sim.Millisecond {
+			drain = 30 * sim.Millisecond
+		}
+		stopAt := f.cfg.Horizon - drain
+		var tick func()
+		tick = func() {
+			for j := 0; j < perCell; j++ {
+				id := uint16(j + 1)
+				cs.ulSeq[j]++
+				d.UEs[id].SendUplink(chaos.TrafficPacket(false, id, cs.ulSeq[j], f.cfg.PacketBytes))
+				cs.dlSeq[j]++
+				d.SendDownlink(id, chaos.TrafficPacket(true, id, cs.dlSeq[j], f.cfg.PacketBytes))
+			}
+			if cs.eng.Now()+f.cfg.TrafficPeriod < stopAt {
+				cs.eng.After(f.cfg.TrafficPeriod, "fleet.traffic", tick)
+			}
+		}
+		cs.eng.At(f.cfg.Settle, "fleet.traffic", tick)
+	}
+
+	// Ring backhaul: periodic load reports to the next cell. The phase
+	// offset staggers cells so a barrier never sees a thundering herd.
+	if f.cfg.BackhaulPeriod > 0 && f.cfg.Cells > 1 {
+		dst := uint16((idx + 1) % f.cfg.Cells)
+		phase := sim.Time(idx%16) * 31 * sim.Microsecond
+		cancel := cs.eng.Every(f.cfg.Settle+phase, f.cfg.BackhaulPeriod, "fleet.backhaul", func() {
+			var load [8]byte
+			putU64(load[:], cs.stat.UL+cs.stat.DL)
+			cs.send(dst, KindBackhaul, f.latency, cs.stat.UL, cs.stat.DL, load[:])
+		})
+		cs.cancel = append(cs.cancel, cancel)
+	}
+	return cs
+}
+
+// execKill crashes the cell's active PHY (in-switch detection fails the
+// cell over to its standby) and asks the controller for a pooled spare to
+// restore redundancy.
+func (f *Fleet) execKill(cs *cellSim) {
+	active := cs.d.ActivePHYServerOf(cs.d.Cfg.Cell)
+	p := cs.d.PHYs[active]
+	if p == nil || p.Crashed() {
+		return
+	}
+	cs.d.KillServer(active)
+	cs.stat.Killed = true
+	cs.send(ControllerID, KindSpareRequest, f.latency, uint64(active), 0, nil)
+}
+
+// post enqueues one controller-originated message.
+func (f *Fleet) post(dst uint16, kind Kind, at sim.Time, a, b uint64) {
+	f.ctlSeq++
+	f.mbox.Post(Message{At: at, Src: ControllerID, Dst: dst, Seq: f.ctlSeq, Kind: kind, A: a, B: b})
+}
+
+// exchange is the barrier step: collect every shard's outbox in cell
+// order, decode the wire frames into the mailbox, post due controller
+// commands, then drain everything due before `next` in (At, Src, Seq)
+// order — scheduling deliveries on the destination engines. Runs only on
+// the coordinator goroutine, with every shard parked at time `now`.
+func (f *Fleet) exchange(now, next sim.Time) error {
+	for _, cs := range f.cells {
+		for _, frame := range cs.out {
+			m, err := Decode(frame)
+			mem.PutBytes(frame)
+			if err != nil {
+				return fmt.Errorf("shard: cell %d produced an undecodable frame: %w", cs.idx, err)
+			}
+			if m.At <= now {
+				return fmt.Errorf("shard: message %v violates the lookahead (barrier at %v)", m, now)
+			}
+			f.mbox.Post(m)
+		}
+		cs.out = cs.out[:0]
+	}
+
+	// Controller: migration-storm commands fall due on the barrier grid.
+	for f.migPosted < len(f.migPlan) && f.migPlan[f.migPosted].at <= now {
+		cmd := f.migPlan[f.migPosted]
+		f.migPosted++
+		f.post(uint16(cmd.cell), KindMigrateCmd, now+f.latency, 0, 0)
+	}
+
+	f.exchanged += uint64(f.mbox.DrainUpTo(next, func(m Message) {
+		if m.Dst == ControllerID {
+			f.handleControl(m)
+			return
+		}
+		if int(m.Dst) >= len(f.cells) {
+			return // fuzz-grade safety; the fleet never addresses outside itself
+		}
+		dst := f.cells[m.Dst]
+		held := m
+		dst.eng.At(m.At, "fleet.deliver", func() { dst.onMessage(f, held) })
+	}))
+	return nil
+}
+
+// handleControl processes one controller-bound message at the barrier.
+// Requests drain in canonical order, so pool allocation is deterministic.
+func (f *Fleet) handleControl(m Message) {
+	switch m.Kind {
+	case KindSpareRequest:
+		if f.sparesLeft > 0 {
+			f.sparesLeft--
+			f.grants++
+			f.post(m.Src, KindSpareGrant, m.At+f.latency, m.A, 0)
+		} else {
+			f.denials++
+			f.post(m.Src, KindSpareDeny, m.At+f.latency, m.A, 0)
+		}
+	}
+}
+
+// Run executes the whole fleet to the horizon and returns its report.
+func (f *Fleet) Run() (*Report, error) {
+	for _, cs := range f.cells {
+		cs.d.Start()
+	}
+	step := f.cfg.Step
+	for t := step; ; t += step {
+		if t > f.cfg.Horizon {
+			t = f.cfg.Horizon
+		}
+		// One internal/par task per runner group: every shard advances to
+		// the barrier, then the coordinator exchanges messages. Workers
+		// never outlive the barrier, so virtual time is globally
+		// consistent whenever the mailbox moves.
+		par.ForEach(len(f.groups), func(g int) {
+			for _, ci := range f.groups[g] {
+				f.cells[ci].eng.RunUntil(t)
+			}
+		})
+		if err := f.exchange(t, t+step); err != nil {
+			return nil, err
+		}
+		if t == f.cfg.Horizon {
+			break
+		}
+	}
+	for _, cs := range f.cells {
+		cs.d.Stop()
+		cs.chk.Finish()
+	}
+	return f.report(), nil
+}
+
+// report finalizes per-cell stats into the deterministic fleet report.
+func (f *Fleet) report() *Report {
+	r := &Report{
+		Cfg:         f.cfg,
+		Grants:      f.grants,
+		Denials:     f.denials,
+		MigrateCmds: f.migPosted,
+		Exchanged:   f.exchanged,
+	}
+	for _, cs := range f.cells {
+		st := cs.stat
+		st.Dropped = cs.chk.DroppedTTIs(cs.d.Cfg.Cell)
+		st.Active = cs.d.ActivePHYServerOf(cs.d.Cfg.Cell)
+		st.Violations = cs.chk.Total
+		r.Violations += cs.chk.Total
+		for _, v := range cs.chk.Violations() {
+			if len(r.violations) < 64 {
+				r.violations = append(r.violations, fmt.Sprintf("cell %d: %s", cs.idx, v))
+			}
+		}
+		r.Cells = append(r.Cells, st)
+		if f.reg != nil {
+			// Shard-tagged aggregation: per-cell counters fold into the
+			// fleet registry (summed by name), and each shard's emission
+			// volume lands under a per-shard tag.
+			f.reg.MergeFrom(cs.rec.Metrics())
+			f.reg.Counter(fmt.Sprintf("fleet.shard%04d.events", cs.idx)).Add(cs.rec.Total())
+		}
+	}
+	if f.reg != nil {
+		r.counters = f.reg.Exposition()
+	}
+	r.Fingerprint = fnvString(r.body())
+	return r
+}
+
+// CellReports renders each cell's outcome as a chaos.Report so fleet
+// soaks plug into chaos.SoakReports and report per-cell fingerprints.
+func (f *Fleet) CellReports(rep *Report) []*chaos.Report {
+	out := make([]*chaos.Report, 0, len(f.cells))
+	for i, cs := range f.cells {
+		cr := &chaos.Report{
+			Seed:            f.cfg.Seed,
+			Profile:         fmt.Sprintf("fleet-cell%d", i),
+			Horizon:         f.cfg.Horizon,
+			Violations:      cs.chk.Violations(),
+			TotalViolations: cs.chk.Total,
+			Dropped:         []chaos.CellDrop{{Cell: uint16(i), Dropped: rep.Cells[i].Dropped}},
+		}
+		for j := 0; j < rep.Cells[i].UEs; j++ {
+			ul, dl := cs.chk.Delivered(uint16(j + 1))
+			cr.Flows = append(cr.Flows, chaos.FlowStat{UE: uint16(j + 1), UL: ul, DL: dl})
+		}
+		cr.Finalize()
+		out = append(out, cr)
+	}
+	return out
+}
+
+// Run builds and executes a fleet in one call.
+func Run(cfg Config) (*Report, error) {
+	f, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return f.Run()
+}

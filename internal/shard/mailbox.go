@@ -1,0 +1,70 @@
+package shard
+
+import (
+	"container/heap"
+
+	"slingshot/internal/sim"
+)
+
+// Mailbox is the deterministic inter-shard message exchange. Messages
+// posted in ANY order drain in (At, Src, Seq) order — the conservative-
+// synchronization total order that makes fleet runs byte-identical at any
+// shard-group count: the key uses only logical shard ids and virtual
+// time, never goroutine identity or post order.
+//
+// The mailbox itself is not goroutine-safe: cells accumulate wire frames
+// in per-shard outboxes during a lockstep step, and only the coordinator
+// posts and drains, strictly between barriers.
+type Mailbox struct {
+	h msgHeap
+}
+
+type msgHeap []Message
+
+func (h msgHeap) Len() int { return len(h) }
+func (h msgHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	if h[i].Src != h[j].Src {
+		return h[i].Src < h[j].Src
+	}
+	return h[i].Seq < h[j].Seq
+}
+func (h msgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *msgHeap) Push(x any)   { *h = append(*h, x.(Message)) }
+func (h *msgHeap) Pop() any {
+	old := *h
+	n := len(old)
+	m := old[n-1]
+	old[n-1] = Message{}
+	*h = old[:n-1]
+	return m
+}
+
+// Post enqueues one message. Duplicate (At, Src, Seq) keys are tolerated
+// (they drain adjacently in post order — the heap is not stable, but equal
+// keys only arise from a buggy or fuzzing producer, never from the fleet,
+// whose per-source Seq strictly increases).
+func (mb *Mailbox) Post(m Message) {
+	heap.Push(&mb.h, m)
+}
+
+// Pending returns how many messages are queued.
+func (mb *Mailbox) Pending() int { return len(mb.h) }
+
+// DrainUpTo delivers every queued message with At ≤ deadline to fn, in
+// (At, Src, Seq) order. Messages posted *during* the drain (controller
+// replies) participate immediately if due, otherwise stay queued — the
+// fleet's latency floor guarantees replies are never due in the same
+// window, but the mailbox itself handles either. Returns the number
+// delivered.
+func (mb *Mailbox) DrainUpTo(deadline sim.Time, fn func(Message)) int {
+	n := 0
+	for len(mb.h) > 0 && mb.h[0].At <= deadline {
+		m := heap.Pop(&mb.h).(Message)
+		n++
+		fn(m)
+	}
+	return n
+}

@@ -1,0 +1,155 @@
+package shard
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"slingshot/internal/sim"
+)
+
+// keyLess is the canonical (At, Src, Seq) order the mailbox promises.
+func keyLess(a, b Message) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Seq < b.Seq
+}
+
+// TestMailboxDrainOrderProperty: ANY interleaving of posts across shards
+// drains in (At, Src, Seq) order — the quick generator draws random
+// batches with deliberately colliding times and sources.
+func TestMailboxDrainOrderProperty(t *testing.T) {
+	prop := func(raw []uint32, order int64) bool {
+		var mb Mailbox
+		want := make([]Message, 0, len(raw))
+		for i, v := range raw {
+			m := Message{
+				// Narrow ranges force At/Src collisions so the tiebreaks
+				// actually engage.
+				At:   sim.Time(v % 7),
+				Src:  uint16(v / 7 % 5),
+				Seq:  uint64(i), // unique → total order is strict
+				Kind: KindBackhaul,
+				A:    uint64(v),
+			}
+			want = append(want, m)
+		}
+		// Post in an order unrelated to the key order.
+		perm := rand.New(rand.NewSource(order)).Perm(len(want))
+		for _, i := range perm {
+			mb.Post(want[i])
+		}
+		sort.SliceStable(want, func(i, j int) bool { return keyLess(want[i], want[j]) })
+
+		var got []Message
+		n := mb.DrainUpTo(sim.Time(1<<62), func(m Message) { got = append(got, m) })
+		if n != len(want) || mb.Pending() != 0 {
+			return false
+		}
+		for i := range want {
+			if got[i].At != want[i].At || got[i].Src != want[i].Src || got[i].Seq != want[i].Seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMailboxDeadlineProperty: DrainUpTo delivers exactly the messages
+// with At ≤ deadline and leaves the rest queued, still in order.
+func TestMailboxDeadlineProperty(t *testing.T) {
+	prop := func(raw []uint16, deadline uint8) bool {
+		var mb Mailbox
+		due, later := 0, 0
+		for i, v := range raw {
+			at := sim.Time(v % 50)
+			if at <= sim.Time(deadline) {
+				due++
+			} else {
+				later++
+			}
+			mb.Post(Message{At: at, Src: uint16(v % 3), Seq: uint64(i), Kind: KindHandover})
+		}
+		var maxAt sim.Time = -1 << 62
+		n := mb.DrainUpTo(sim.Time(deadline), func(m Message) {
+			if m.At > sim.Time(deadline) || m.At < maxAt {
+				t.Errorf("drained %v past deadline %d or out of order", m, deadline)
+			}
+			if m.At > maxAt {
+				maxAt = m.At
+			}
+		})
+		if n != due || mb.Pending() != later {
+			return false
+		}
+		// The remainder drains too, in order.
+		rest := mb.DrainUpTo(sim.Time(1<<62), func(Message) {})
+		return rest == later && mb.Pending() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMailboxEmptyDrain(t *testing.T) {
+	var mb Mailbox
+	if n := mb.DrainUpTo(1<<40, func(Message) { t.Fatal("delivered from empty mailbox") }); n != 0 {
+		t.Fatalf("empty drain returned %d", n)
+	}
+	if mb.Pending() != 0 {
+		t.Fatalf("empty mailbox pending %d", mb.Pending())
+	}
+}
+
+// TestMailboxDuplicateTick: duplicate (At, Src, Seq) keys — only a buggy
+// or fuzzing producer makes them — are all delivered, adjacently.
+func TestMailboxDuplicateTick(t *testing.T) {
+	var mb Mailbox
+	dup := Message{At: 5, Src: 2, Seq: 9, Kind: KindBackhaul}
+	mb.Post(Message{At: 5, Src: 3, Seq: 1, Kind: KindBackhaul})
+	mb.Post(dup)
+	mb.Post(dup)
+	mb.Post(Message{At: 4, Src: 9, Seq: 7, Kind: KindBackhaul})
+
+	var got []Message
+	if n := mb.DrainUpTo(5, func(m Message) { got = append(got, m) }); n != 4 {
+		t.Fatalf("drained %d of 4", n)
+	}
+	wantSrc := []uint16{9, 2, 2, 3}
+	for i, m := range got {
+		if m.Src != wantSrc[i] {
+			t.Fatalf("position %d: src %d, want %d (order %v)", i, m.Src, wantSrc[i], got)
+		}
+	}
+}
+
+// TestMailboxPostDuringDrain: a message posted from inside the drain
+// callback participates immediately when due, stays queued when not —
+// the controller-reply path.
+func TestMailboxPostDuringDrain(t *testing.T) {
+	var mb Mailbox
+	mb.Post(Message{At: 1, Src: 0, Seq: 1, Kind: KindSpareRequest})
+	var seen []Kind
+	n := mb.DrainUpTo(10, func(m Message) {
+		seen = append(seen, m.Kind)
+		if m.Kind == KindSpareRequest {
+			// A due reply and a future one.
+			mb.Post(Message{At: 3, Src: ControllerID, Seq: 1, Kind: KindSpareGrant})
+			mb.Post(Message{At: 99, Src: ControllerID, Seq: 2, Kind: KindSpareDeny})
+		}
+	})
+	if n != 2 || len(seen) != 2 || seen[0] != KindSpareRequest || seen[1] != KindSpareGrant {
+		t.Fatalf("drain saw %v (n=%d)", seen, n)
+	}
+	if mb.Pending() != 1 {
+		t.Fatalf("future reply not retained (pending %d)", mb.Pending())
+	}
+}

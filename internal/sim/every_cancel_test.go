@@ -99,3 +99,50 @@ func TestRemoveSafety(t *testing.T) {
 		t.Fatalf("Pending() = %d after drain, want 0", p)
 	}
 }
+
+// TestEveryCancelDoesNotStallBarrier drives an engine the way the shard
+// fleet does — repeated RunUntil calls to successive lockstep barriers —
+// and cancels a periodic "cross-shard tick" mid-run. The barrier loop
+// must keep advancing the clock to every deadline: a canceled tick whose
+// fire time coincides with the next barrier must neither fire nor stop
+// RunUntil from landing exactly on the barrier.
+func TestEveryCancelDoesNotStallBarrier(t *testing.T) {
+	eng := sim.NewEngine()
+	const step = 500 * sim.Microsecond
+
+	ticks := 0
+	cancel := eng.Every(step, 4*step, "xshard", func() { ticks++ })
+
+	for barrier := step; barrier <= 40*step; barrier += step {
+		eng.RunUntil(barrier)
+		if eng.Now() != barrier {
+			t.Fatalf("barrier stalled: Now()=%v, want %v", eng.Now(), barrier)
+		}
+		// Cancel just before the tick's next fire time lands exactly on
+		// the upcoming barrier (ticks at 1, 5, 9 steps; cancel after 9).
+		if barrier == 12*step {
+			cancel()
+		}
+	}
+	if ticks != 3 {
+		t.Fatalf("cross-shard tick fired %d times, want 3 (canceled after 12 steps)", ticks)
+	}
+	if p := eng.Pending(); p != 0 {
+		t.Fatalf("canceled tick left %d queued events behind the barrier loop", p)
+	}
+}
+
+// TestRemoveOnlyEventStillAdvancesBarrier removes the sole queued event
+// between two barriers: RunUntil on an empty queue must still advance the
+// clock to the deadline (the fleet relies on this — an idle shard parks
+// at the barrier rather than lagging the fleet clock).
+func TestRemoveOnlyEventStillAdvancesBarrier(t *testing.T) {
+	eng := sim.NewEngine()
+	ev := eng.At(3*sim.Millisecond, "only", func() { t.Fatal("removed event fired") })
+	eng.RunUntil(sim.Millisecond)
+	eng.Remove(ev)
+	eng.RunUntil(5 * sim.Millisecond)
+	if eng.Now() != 5*sim.Millisecond {
+		t.Fatalf("empty-queue barrier left Now()=%v, want 5ms", eng.Now())
+	}
+}

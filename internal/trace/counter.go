@@ -185,6 +185,23 @@ func (r *Registry) Exposition() string {
 	return b.String()
 }
 
+// MergeFrom folds another registry into this one: counters accumulate and
+// gauges sum, keyed by name. Deterministic given deterministic inputs (the
+// values merge, not any iteration order). Used by the shard fleet to
+// aggregate per-cell registries into one exposition; merging nil or from
+// nil is a no-op.
+func (r *Registry) MergeFrom(other *Registry) {
+	if r == nil || other == nil {
+		return
+	}
+	for name, c := range other.counters {
+		r.Counter(name).Add(c.v)
+	}
+	for name, g := range other.gauges {
+		r.Gauge(name).Add(g.v)
+	}
+}
+
 // Delta renders the per-metric change since base in sorted name order,
 // omitting metrics that did not move. Metrics born after base diff against
 // zero.

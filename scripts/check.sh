@@ -53,6 +53,28 @@ if scripts/bench.sh --diff "$SMOKE/now.json" "$SMOKE/slow.json" > /dev/null 2>&1
     exit 1
 fi
 
+echo "== shard determinism lane (-race, shards=1 vs shards=4) =="
+# The fleet-chaos scenario must render byte-identically however the cells
+# are grouped onto runner goroutines, with the worker pool live under the
+# race detector. Any divergence prints both reports.
+FLEET_ARGS="-cells 8 -ues 96 -fleet-chaos -seed 9 -horizon 200ms"
+# shellcheck disable=SC2086
+A="$(SLINGSHOT_WORKERS=4 go run -race ./cmd/experiments $FLEET_ARGS -shards 1)"
+# shellcheck disable=SC2086
+B="$(SLINGSHOT_WORKERS=4 go run -race ./cmd/experiments $FLEET_ARGS -shards 4)"
+if [ "$A" != "$B" ]; then
+    echo "fleet report diverged between shards=1 and shards=4:" >&2
+    printf '--- shards=1 ---\n%s\n--- shards=4 ---\n%s\n' "$A" "$B" >&2
+    exit 1
+fi
+printf '%s\n' "$A" | grep fingerprint
+
+echo "== metro scale lane (-race, 100 cells / 10k UEs) =="
+# The headline scale target: a 100-cell, 10k-UE lockstep fleet must
+# complete cleanly under the race detector (short horizon: the point is
+# barrier/mailbox correctness at width, not a long soak).
+go run -race ./cmd/experiments -cells 100 -ues 10000 -horizon 15ms | tail -3
+
 echo "== fuzz smoke (${FUZZTIME}/target) =="
 for target in \
     internal/fronthaul:FuzzDecodePacket \
@@ -61,7 +83,8 @@ for target in \
     internal/fronthaul:FuzzCompressBFP \
     internal/fapi:FuzzDecodeFAPI \
     internal/phy:FuzzCodecRoundTrip \
-    internal/phy:FuzzDecodeBlockGarbage
+    internal/phy:FuzzDecodeBlockGarbage \
+    internal/shard:FuzzDecodeMessage
 do
     pkg="${target%%:*}"
     fn="${target##*:}"

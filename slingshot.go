@@ -31,6 +31,7 @@ import (
 	"slingshot/internal/chaos"
 	"slingshot/internal/core"
 	"slingshot/internal/experiments"
+	"slingshot/internal/shard"
 	"slingshot/internal/sim"
 )
 
@@ -225,6 +226,94 @@ func ChaosTraced(seed uint64, profile string) (report, eventTrace string, err er
 	}
 	rep, rec := chaos.RunTraced(seed, p)
 	return rep.String(), rec.Serialize() + rec.Metrics().Exposition(), rep.Err()
+}
+
+// MetroOptions configures a sharded multi-cell (metro-scale) run: Cells
+// independent per-cell deployments advance in lockstep on the
+// internal/par pool and exchange cross-cell traffic through a
+// deterministic inter-shard mailbox.
+type MetroOptions struct {
+	// Cells and UEs size the fleet; UEs spread evenly across cells.
+	Cells int
+	UEs   int
+	// Shards is the runner-group count (0 = SLINGSHOT_SHARDS, then
+	// GOMAXPROCS). Purely an execution knob: the report is byte-identical
+	// at any value.
+	Shards int
+	// Seed drives the whole fleet; equal seeds give identical reports.
+	Seed uint64
+	// Horizon overrides the virtual run length (0 keeps the scenario
+	// default).
+	Horizon time.Duration
+	// Chaos switches to the fleet-chaos scenario: PHY kills across a
+	// quarter of the fleet contending for a half-sized pooled-spare set,
+	// plus a migration storm — with the §8.2 ≤3-dropped-TTI invariant
+	// checked per cell.
+	Chaos bool
+	// Trace aggregates every cell's counters into the report.
+	Trace bool
+}
+
+// Metro runs a sharded multi-cell scenario and returns its deterministic
+// report. The error is non-nil when the run could not be built or any
+// cell violated a cross-layer invariant (the report text is returned
+// either way when the fleet ran).
+func Metro(opts MetroOptions) (string, error) {
+	cfg := shard.DefaultConfig(opts.Cells, opts.UEs)
+	if opts.Chaos {
+		cfg = shard.ChaosConfig(opts.Cells, opts.UEs)
+	}
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	if opts.Shards != 0 {
+		cfg.Shards = opts.Shards
+	}
+	if opts.Horizon != 0 {
+		cfg.Horizon = sim.FromDuration(opts.Horizon)
+	}
+	cfg.Trace = opts.Trace
+	rep, err := shard.Run(cfg)
+	if err != nil {
+		return "", err
+	}
+	return rep.String(), rep.Err()
+}
+
+// MetroSoak soaks the fleet-chaos scenario over seeds 1..n, reporting the
+// first per-cell invariant violation in (seed, cell) order. The returned
+// report text is empty when every seed passed.
+func MetroSoak(n, cells, ues int) (string, bool) {
+	failing, ok := chaos.SoakReports(n, func(seed uint64) []*chaos.Report {
+		cfg := shard.ChaosConfig(cells, ues)
+		cfg.Seed = seed
+		f, err := shard.New(cfg)
+		if err != nil {
+			return []*chaos.Report{soakError(seed, err)}
+		}
+		rep, err := f.Run()
+		if err != nil {
+			return []*chaos.Report{soakError(seed, err)}
+		}
+		return f.CellReports(rep)
+	})
+	if ok {
+		return "", true
+	}
+	return failing.String(), false
+}
+
+// soakError renders a fleet build/run failure as a failing soak report so
+// it surfaces instead of silently passing the seed.
+func soakError(seed uint64, err error) *chaos.Report {
+	r := &chaos.Report{
+		Seed:            seed,
+		Profile:         "fleet-error",
+		TotalViolations: 1,
+		Violations:      []chaos.Violation{{Invariant: "fleet-run", Detail: err.Error()}},
+	}
+	r.Finalize()
+	return r
 }
 
 // RunExperiment regenerates one of the paper's tables/figures and returns
