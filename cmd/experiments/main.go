@@ -39,13 +39,24 @@ func main() {
 		ues        = flag.Int("ues", 0, "total UEs across the metro fleet (with -cells)")
 		shards     = flag.Int("shards", 0, "shard-group count (0 = SLINGSHOT_SHARDS, then GOMAXPROCS); reports are identical at any value")
 		fleetChaos = flag.Bool("fleet-chaos", false, "use the fleet-chaos scenario: PHY kills + pooled spares + migration storm (with -cells)")
+		fleetProf  = flag.String("fleet-profile", "", "correlated-failure scenario over a zoned topology: independent, rack-loss, partition, upgrade-wave (with -cells)")
 		horizon    = flag.Duration("horizon", 0, "override the metro virtual run length (with -cells)")
 	)
 	flag.Parse()
 
 	if *cells > 0 {
-		runMetro(*cells, *ues, *shards, *seed, *fleetChaos, *horizon)
+		if err := validateMetroFlags(*cells, *ues, *shards, *horizon, flagWasSet("ues"), flagWasSet("horizon")); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runMetro(*cells, *ues, *shards, *seed, *fleetChaos, *fleetProf, *horizon)
 		return
+	}
+	for _, name := range []string{"ues", "shards", "fleet-chaos", "fleet-profile"} {
+		if flagWasSet(name) {
+			fmt.Fprintf(os.Stderr, "-%s requires -cells (the sharded metro scenario)\n", name)
+			os.Exit(2)
+		}
 	}
 	if *chaosProf != "" {
 		runTracedChaos(*chaosProf, *seed, *tracePath)
@@ -80,16 +91,58 @@ func main() {
 	fmt.Println(r)
 }
 
+// flagWasSet reports whether the user passed a flag explicitly.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// validateMetroFlags rejects impossible metro flag combinations up front
+// with a clear error, instead of a panic or a silent clamp deep in fleet
+// setup. uesSet/horizonSet distinguish "omitted" (defaulted later) from
+// "explicitly nonsensical".
+func validateMetroFlags(cells, ues, shards int, horizon time.Duration, uesSet, horizonSet bool) error {
+	if uesSet && ues <= 0 {
+		return fmt.Errorf("-ues must be positive (got %d); omit it to default to 100 per cell", ues)
+	}
+	if uesSet && ues < cells {
+		return fmt.Errorf("-ues %d spread over -cells %d leaves empty cells; need at least one UE per cell", ues, cells)
+	}
+	if horizonSet && horizon <= 0 {
+		return fmt.Errorf("-horizon must be positive (got %v)", horizon)
+	}
+	if shards < 0 {
+		return fmt.Errorf("-shards must be ≥ 0 (got %d); 0 reads SLINGSHOT_SHARDS", shards)
+	}
+	if shards > cells {
+		return fmt.Errorf("-shards %d exceeds -cells %d: a shard group needs at least one cell", shards, cells)
+	}
+	return nil
+}
+
 // runMetro executes one sharded metro-scale fleet run and prints its
 // deterministic report. Exit status 1 when any cell violated an
 // invariant.
-func runMetro(cells, ues, shards int, seed uint64, fleetChaos bool, horizon time.Duration) {
+func runMetro(cells, ues, shards int, seed uint64, fleetChaos bool, fleetProf string, horizon time.Duration) {
 	if ues <= 0 {
 		ues = cells * 100
 	}
 	cfg := shard.DefaultConfig(cells, ues)
 	if fleetChaos {
 		cfg = shard.ChaosConfig(cells, ues)
+	}
+	if fleetProf != "" {
+		c, err := shard.CorrelatedConfig(fleetProf, cells, ues)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg = c
 	}
 	cfg.Seed = seed
 	cfg.Shards = shards

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestValidateMetroFlags(t *testing.T) {
+	cases := []struct {
+		name               string
+		cells, ues, shards int
+		horizon            time.Duration
+		uesSet, horizonSet bool
+		wantErr            bool
+	}{
+		{"defaults ok", 8, 0, 0, 0, false, false, false},
+		{"explicit ok", 8, 96, 4, time.Second, true, true, false},
+		{"shards equals cells", 4, 16, 4, 0, true, false, false},
+		{"shards exceeds cells", 4, 16, 5, 0, true, false, true},
+		{"negative shards", 4, 16, -1, 0, true, false, true},
+		{"zero ues explicit", 4, 0, 0, 0, true, false, true},
+		{"negative ues", 4, -3, 0, 0, true, false, true},
+		{"ues below cells", 8, 4, 0, 0, true, false, true},
+		{"zero horizon explicit", 4, 16, 0, 0, true, true, true},
+		{"negative horizon", 4, 16, 0, -time.Second, true, true, true},
+	}
+	for _, tc := range cases {
+		err := validateMetroFlags(tc.cells, tc.ues, tc.shards, tc.horizon, tc.uesSet, tc.horizonSet)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: validateMetroFlags = %v, wantErr=%v", tc.name, err, tc.wantErr)
+		}
+	}
+}

@@ -32,11 +32,12 @@ func main() {
 		tracePath = flag.String("trace", "", "record cross-layer events and write a Chrome trace_event JSON here (open in chrome://tracing or Perfetto)")
 		cells     = flag.Int("cells", 0, "run a sharded multi-cell fleet of this size instead of the single-cell narration")
 		ues       = flag.Int("ues", 0, "total UEs across the fleet (with -cells; default 10 per cell)")
+		profile   = flag.String("profile", "", "correlated-failure scenario for the fleet: independent, rack-loss, partition, upgrade-wave (with -cells; default fleet-chaos)")
 	)
 	flag.Parse()
 
 	if *cells > 0 {
-		runFleet(*cells, *ues, *seed)
+		runFleet(*cells, *ues, *seed, *profile)
 		return
 	}
 
@@ -154,21 +155,37 @@ func main() {
 	}
 }
 
-// runFleet executes the sharded fleet-chaos scenario and narrates its
-// outcome: fleet-wide totals, the controller's spare-pool decisions, and
-// every cell that was killed, failed over, or handed load off.
-func runFleet(cells, ues int, seed uint64) {
+// runFleet executes the sharded fleet-chaos scenario (or a correlated
+// profile over a zoned topology) and narrates its outcome: fleet-wide
+// totals, the controller's spare-pool decisions, and every cell that was
+// killed, failed over, or handed load off.
+func runFleet(cells, ues int, seed uint64, profile string) {
 	if ues <= 0 {
 		ues = cells * 10
 	}
 	cfg := shard.ChaosConfig(cells, ues)
+	if profile != "" {
+		c, err := shard.CorrelatedConfig(profile, cells, ues)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg = c
+		zones := cfg.Topo.Zones
+		fmt.Printf("fleet: %d cells / %d UEs over %d zones (%d spares/zone + %d overflow), scenario %s\n",
+			cfg.Cells, cfg.UEs, zones, cfg.Topo.ZoneSpares, cfg.Topo.OverflowSpares, profile)
+	} else {
+		fmt.Printf("fleet: %d cells / %d UEs, %d PHY kills against a %d-spare pool, %d-migration storm\n",
+			cfg.Cells, cfg.UEs, cfg.Kills, cfg.Spares, cfg.Migrations)
+	}
 	cfg.Seed = seed
-	fmt.Printf("fleet: %d cells / %d UEs, %d PHY kills against a %d-spare pool, %d-migration storm\n",
-		cfg.Cells, cfg.UEs, cfg.Kills, cfg.Spares, cfg.Migrations)
 	rep, err := shard.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	for _, fl := range rep.Faults {
+		fmt.Printf("fault: %s\n", fl)
 	}
 	var ul, dl, exch uint64
 	for _, cs := range rep.Cells {
@@ -188,8 +205,12 @@ func runFleet(cells, ues int, seed uint64) {
 		}
 		exch += cs.BackhaulRx + cs.HandoverRx
 	}
-	fmt.Printf("controller: %d spare grants, %d denials, %d migration commands\n",
-		rep.Grants, rep.Denials, rep.MigrateCmds)
+	for _, z := range rep.Zones {
+		fmt.Printf("zone %d: %d cells, %d killed, %d re-spared (%d local + %d cross grants), %d denied; availability %.4f%%\n",
+			z.Zone, z.Cells, z.Killed, z.Respared, z.GrantsLocal, z.GrantsCross, z.Denied, z.Availability)
+	}
+	fmt.Printf("controller: %d spare grants (%d local, %d cross-zone), %d denials, %d migration commands, %d upgrade steps\n",
+		rep.Grants, rep.GrantsLocal, rep.GrantsCross, rep.Denials, rep.MigrateCmds, rep.UpgradeCmds)
 	fmt.Printf("delivered in order: %d uplink / %d downlink packets; %d inter-cell messages\n",
 		ul, dl, exch)
 	fmt.Printf("fingerprint: %016x\n", rep.Fingerprint)

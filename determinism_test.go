@@ -7,6 +7,7 @@ package slingshot
 
 import (
 	"testing"
+	"time"
 
 	"slingshot/internal/mem"
 	"slingshot/internal/par"
@@ -35,6 +36,24 @@ func TestReportsInvariantToShardCount(t *testing.T) {
 		}},
 		{"metro-trace", func(shards int) (string, error) {
 			return Metro(MetroOptions{Cells: 4, UEs: 16, Shards: shards, Seed: 2, Trace: true})
+		}},
+		// Correlated-failure scenarios ride the same contract: the fault
+		// schedule is drawn at build time from the fleet seed's RNG tree,
+		// and partition deferral re-posts with untouched (Src, Seq).
+		{"rack-loss", func(shards int) (string, error) {
+			return Metro(MetroOptions{Cells: 6, UEs: 36, Shards: shards, Seed: 11, Profile: "rack-loss"})
+		}},
+		// The frontier sweep composes fleet runs via par.Map, so it must be
+		// invariant to both knobs at once.
+		{"frontier", func(shards int) (string, error) {
+			return Frontier(FrontierOptions{
+				Cells:     4,
+				UEs:       16,
+				Shards:    shards,
+				Scenarios: []string{"rack-loss", "upgrade-wave"},
+				Ratios:    []float64{0, 0.5},
+				Horizon:   280 * time.Millisecond,
+			})
 		}},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"slingshot/internal/chaos"
+	"slingshot/internal/shard"
+	"slingshot/internal/sim"
+)
+
+func init() {
+	register("frontier",
+		"Availability vs pooled-spare ratio under independent and correlated failures",
+		runFrontier)
+}
+
+// runFrontier answers the capacity-planning question behind the paper's
+// pooled-spare design: how many spares per N cells hold availability
+// under rack loss, switch partitions and upgrade waves — not just the
+// independent kills §8.2 evaluates. The grid is seed-sharded across the
+// worker pool; the table is byte-identical at any shards × workers.
+func runFrontier(scale float64) Result {
+	cells, ues := 6, 36
+	seeds := 2
+	if scale < 0.5 {
+		seeds = 1
+	}
+	horizon := sim.Time(float64(400*sim.Millisecond) * scale)
+	if horizon < 280*sim.Millisecond {
+		horizon = 280 * sim.Millisecond
+	}
+	spec := chaos.FrontierSpec{
+		Scenarios: shard.FrontierScenarios,
+		Ratios:    []float64{0, 0.25, 0.5, 1},
+		Seeds:     seeds,
+	}
+	rep, err := chaos.Frontier(spec, func(scenario string, ratio float64, seed uint64) (chaos.FrontierSample, error) {
+		return shard.FrontierSample(scenario, cells, ues, 0, horizon, ratio, seed)
+	})
+	if err != nil {
+		return Result{ID: "frontier", Title: Title("frontier"),
+			Output: err.Error() + "\n", Summary: "frontier sweep failed"}
+	}
+
+	// Summary: the cheapest ratio per scenario that re-spares every kill
+	// with no denials — the knee of the frontier.
+	knee := map[string]float64{}
+	minAvail := 100.0
+	for _, p := range rep.Points {
+		if p.Availability < minAvail {
+			minAvail = p.Availability
+		}
+		if _, ok := knee[p.Scenario]; !ok && p.Denied == 0 && p.Respared == p.Killed {
+			knee[p.Scenario] = p.Ratio
+		}
+	}
+	summary := fmt.Sprintf("min availability %.4f%% across %d points;", minAvail, len(rep.Points))
+	for _, sc := range spec.Scenarios {
+		if r, ok := knee[sc]; ok {
+			summary += fmt.Sprintf(" %s full-recovery at ratio %.2f;", sc, r)
+		} else {
+			summary += fmt.Sprintf(" %s never fully recovered;", sc)
+		}
+	}
+	return Result{
+		ID:      "frontier",
+		Title:   Title("frontier"),
+		Output:  rep.String(),
+		Summary: summary,
+	}
+}

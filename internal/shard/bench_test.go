@@ -3,6 +3,7 @@ package shard
 import (
 	"testing"
 
+	"slingshot/internal/chaos"
 	"slingshot/internal/sim"
 )
 
@@ -16,6 +17,54 @@ func BenchmarkMetroScale(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rep, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Err() != nil {
+			b.Fatal(rep.Err())
+		}
+	}
+}
+
+// BenchmarkZoneFailover is the correlated-failure cost number: a fully
+// provisioned 8-cell rack-loss run over a zoned topology — one rack of
+// cells killed in the same window, zone-local spare grants, §8.2 bound
+// checked per cell. Per-op cost is the whole fleet run.
+func BenchmarkZoneFailover(b *testing.B) {
+	cfg, err := CorrelatedConfig("rack-loss", 8, 48)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ApplySpareRatio(&cfg, 1)
+	cfg.Seed = 11
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Err() != nil {
+			b.Fatal(rep.Err())
+		}
+	}
+}
+
+// BenchmarkFrontierSweep prices one availability-vs-spare-ratio grid:
+// 2 scenarios × 2 ratios × 1 seed of 4-cell fleets swept through
+// chaos.Frontier on the worker pool. This is what `-run frontier` costs
+// per grid cell group, so sweep-shape regressions show up here.
+func BenchmarkFrontierSweep(b *testing.B) {
+	spec := chaos.FrontierSpec{
+		Scenarios: []string{"rack-loss", "upgrade-wave"},
+		Ratios:    []float64{0, 0.5},
+		Seeds:     1,
+	}
+	horizon := 280 * sim.Millisecond
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := chaos.Frontier(spec, func(sc string, ratio float64, seed uint64) (chaos.FrontierSample, error) {
+			return FrontierSample(sc, 4, 16, 1, horizon, ratio, seed)
+		})
 		if err != nil {
 			b.Fatal(err)
 		}

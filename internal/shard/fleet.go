@@ -57,10 +57,38 @@ type Config struct {
 	// Fault plan: Kills crashes the active PHY of that many distinct
 	// cells (drawn from the seed); each killed cell asks the controller
 	// for one of Spares pooled spare PHYs. Migrations is a fleet-wide
-	// storm of controller-ordered planned migrations.
+	// storm of controller-ordered planned migrations. With a zoned
+	// Topology, Spares folds into the pools: zone 0's pool for a flat
+	// fleet, the overflow pool otherwise.
 	Kills      int
 	Spares     int
 	Migrations int
+
+	// Topo groups cells into failure zones and homes spare capacity; the
+	// zero value is a flat single-zone fleet (PR-5 behavior).
+	Topo Topology
+
+	// Correlated fault families, all drawn from the fleet seed's RNG
+	// tree at build time so schedules are shard/worker invariant:
+	// RackLosses kills every active PHY in that many distinct zones
+	// simultaneously; Partitions cuts a zone off the inter-shard fabric
+	// for PartitionLen (messages deferred to the window's end, backhaul
+	// load reports dropped); UpgradeWaves rolls a maintenance kill
+	// across zones with WaveStride between zones, each upgraded server
+	// rejoining its zone's spare pool after UpgradeHold.
+	RackLosses   int
+	Partitions   int
+	PartitionLen sim.Time
+	UpgradeWaves int
+	WaveStride   sim.Time
+	UpgradeHold  sim.Time
+
+	// RecoveryDeadline arms per-cell retry/backoff on the spare
+	// protocol: a killed cell that is not re-spared within the deadline
+	// re-requests, doubling the deadline each attempt, up to MaxRetries
+	// extra attempts. 0 disables retries (PR-5 behavior).
+	RecoveryDeadline sim.Time
+	MaxRetries       int
 
 	// Trace arms a per-cell trace recorder and aggregates every cell's
 	// counters into the report (shard-tagged via the fleet registry).
@@ -103,6 +131,7 @@ func ChaosConfig(cells, ues int) Config {
 // CellStat is one cell's aggregated outcome.
 type CellStat struct {
 	Cell       int
+	Zone       int
 	UEs        int
 	UL, DL     uint64 // delivered in-order application packets
 	BackhaulRx uint64
@@ -111,22 +140,51 @@ type CellStat struct {
 	Dropped    uint64 // total dropped TTIs (§8.2 gap sum)
 	Active     uint8  // serving PHY server at end of run
 	Violations int
+	Retries    int // spare re-requests after a missed recovery deadline
+	UpgSkipped int // upgrade-kill steps refused for lack of redundancy
 	Killed     bool
 	SpareOK    bool // granted a pooled spare after its kill
+	CrossSpare bool // the grant came from the overflow pool
+	Upgraded   bool // took a rolling-upgrade maintenance kill
+}
+
+// ZoneStat aggregates one failure zone's outcome, including its
+// availability: the fraction of cell·TTI slots not lost to failover
+// gaps, the quantity the frontier sweep trades against spare budget.
+type ZoneStat struct {
+	Zone         int
+	Cells        int
+	Killed       int
+	Respared     int
+	GrantsLocal  int
+	GrantsCross  int
+	Denied       int
+	Retries      int
+	Dropped      uint64
+	Availability float64 // percent of cell·TTI slots served
 }
 
 // Report is the deterministic outcome of one fleet run.
 type Report struct {
-	Cfg         Config
-	Cells       []CellStat
-	Grants      int
-	Denials     int
-	MigrateCmds int
-	Exchanged   uint64 // inter-shard messages delivered
-	Violations  int
-	violations  []string
-	counters    string // aggregated exposition (Trace only)
-	Fingerprint uint64
+	Cfg          Config
+	Cells        []CellStat
+	Zones        []ZoneStat
+	Faults       []string // build-time correlated fault plan, draw order
+	Grants       int      // GrantsLocal + GrantsCross
+	GrantsLocal  int
+	GrantsCross  int
+	Denials      int
+	DupReqs      int // retries that raced an in-flight grant
+	Released     int // spare units returned to zone pools
+	MigrateCmds  int
+	UpgradeCmds  int
+	PartDeferred uint64 // messages deferred past a partition window
+	PartDropped  uint64 // backhaul reports dropped inside a window
+	Exchanged    uint64 // inter-shard messages delivered
+	Violations   int
+	violations   []string
+	counters     string // aggregated exposition (Trace only)
+	Fingerprint  uint64
 }
 
 func (r *Report) body() string {
@@ -136,20 +194,60 @@ func (r *Report) body() string {
 		c.Cells, c.UEs, c.Seed, float64(c.Horizon)/float64(sim.Second), int64(c.Step/sim.Microsecond))
 	fmt.Fprintf(&b, "fault plan: kills=%d spares=%d migrations=%d settle=%.3fs\n",
 		c.Kills, c.Spares, c.Migrations, float64(c.Settle)/float64(sim.Second))
+	zones := c.Topo.zonesIn(c.Cells)
+	if zones > 1 || c.RackLosses > 0 || c.Partitions > 0 || c.UpgradeWaves > 0 || c.RecoveryDeadline > 0 {
+		fmt.Fprintf(&b, "topology: zones=%d zone-spares=%d overflow=%d cross-penalty=%dus\n",
+			zones, c.Topo.ZoneSpares, c.Topo.OverflowSpares,
+			int64(c.Topo.CrossZonePenalty/sim.Microsecond))
+		fmt.Fprintf(&b, "correlated: rack-losses=%d partitions=%d(len=%dus) upgrade-waves=%d(stride=%dus hold=%dus) deadline=%dus retries=%d\n",
+			c.RackLosses, c.Partitions, int64(c.PartitionLen/sim.Microsecond),
+			c.UpgradeWaves, int64(c.WaveStride/sim.Microsecond), int64(c.UpgradeHold/sim.Microsecond),
+			int64(c.RecoveryDeadline/sim.Microsecond), c.MaxRetries)
+	}
+	for _, fl := range r.Faults {
+		fmt.Fprintf(&b, "  fault: %s\n", fl)
+	}
 	for _, cs := range r.Cells {
 		flags := ""
 		if cs.Killed {
 			flags = " killed"
 			if cs.SpareOK {
 				flags += "+respared"
+				if cs.CrossSpare {
+					flags += "-cross"
+				}
 			}
 		}
-		fmt.Fprintf(&b, "cell %4d: ues=%d ul=%d dl=%d bh=%d ho=%d digest=%016x dropped=%d active=%d viol=%d%s\n",
-			cs.Cell, cs.UEs, cs.UL, cs.DL, cs.BackhaulRx, cs.HandoverRx,
+		if cs.Upgraded {
+			flags += " upgraded"
+		}
+		if cs.UpgSkipped > 0 {
+			flags += fmt.Sprintf(" upg-skipped=%d", cs.UpgSkipped)
+		}
+		if cs.Retries > 0 {
+			flags += fmt.Sprintf(" retries=%d", cs.Retries)
+		}
+		zone := ""
+		if zones > 1 {
+			zone = fmt.Sprintf("z=%d ", cs.Zone)
+		}
+		fmt.Fprintf(&b, "cell %4d: %sues=%d ul=%d dl=%d bh=%d ho=%d digest=%016x dropped=%d active=%d viol=%d%s\n",
+			cs.Cell, zone, cs.UEs, cs.UL, cs.DL, cs.BackhaulRx, cs.HandoverRx,
 			cs.Digest, cs.Dropped, cs.Active, cs.Violations, flags)
+	}
+	for _, z := range r.Zones {
+		fmt.Fprintf(&b, "zone %2d: cells=%d killed=%d respared=%d grants=%d+%d denied=%d retries=%d dropped=%d avail=%.4f%%\n",
+			z.Zone, z.Cells, z.Killed, z.Respared, z.GrantsLocal, z.GrantsCross,
+			z.Denied, z.Retries, z.Dropped, z.Availability)
 	}
 	fmt.Fprintf(&b, "controller: grants=%d denials=%d migrate-cmds=%d exchanged=%d\n",
 		r.Grants, r.Denials, r.MigrateCmds, r.Exchanged)
+	if r.GrantsCross > 0 || r.Released > 0 || r.DupReqs > 0 || r.UpgradeCmds > 0 ||
+		r.PartDeferred > 0 || r.PartDropped > 0 {
+		fmt.Fprintf(&b, "degradation: grants-local=%d grants-cross=%d released=%d dup-reqs=%d upgrade-cmds=%d deferred=%d dropped-msgs=%d\n",
+			r.GrantsLocal, r.GrantsCross, r.Released, r.DupReqs, r.UpgradeCmds,
+			r.PartDeferred, r.PartDropped)
+	}
 	fmt.Fprintf(&b, "violations: %d\n", r.Violations)
 	for _, v := range r.violations {
 		fmt.Fprintf(&b, "  %s\n", v)
@@ -214,10 +312,11 @@ type cellSim struct {
 	msgSeq uint64
 	out    [][]byte // encoded wire frames accumulated this step
 
-	stat   CellStat
-	ulSeq  []uint64 // per-UE stamp sequences (index = UE id - 1)
-	dlSeq  []uint64
-	cancel []func()
+	stat     CellStat
+	attempts int      // spare requests sent so far (retry/backoff)
+	ulSeq    []uint64 // per-UE stamp sequences (index = UE id - 1)
+	dlSeq    []uint64
+	cancel   []func()
 }
 
 // send encodes one message into the shard's outbox. Runs on the cell's
@@ -251,9 +350,7 @@ func (cs *cellSim) onMessage(f *Fleet, m Message) {
 	case KindHandover:
 		cs.stat.HandoverRx++
 	case KindSpareGrant:
-		if err := cs.d.ProvisionSpare(cs.d.Cfg.Cell); err == nil {
-			cs.stat.SpareOK = true
-		}
+		cs.onSpareGrant(f, m)
 	case KindSpareDeny:
 		// Pool exhausted: run unprotected and offload load units to the
 		// ring neighbor so the fleet rebalances.
@@ -262,7 +359,86 @@ func (cs *cellSim) onMessage(f *Fleet, m Message) {
 		// Controller-ordered switch-rule update: plan a zero-downtime
 		// migration to the standby. Refusals (dead standby) are fine.
 		cs.d.PlannedMigrationOf(cs.d.Cfg.Cell)
+	case KindUpgradeKill:
+		cs.onUpgradeKill(f)
 	}
+}
+
+// spareUsable reports whether the cell's local spare slot can still
+// absorb a grant: the spare server exists, has not crashed, and is not
+// already serving the cell.
+func (cs *cellSim) spareUsable() bool {
+	spare := cs.d.Cfg.SpareServer
+	if spare == 0 {
+		return false
+	}
+	p := cs.d.PHYs[spare]
+	if p == nil || p.Crashed() {
+		return false
+	}
+	return cs.d.ActivePHYServerOf(cs.d.Cfg.Cell) != spare
+}
+
+// onSpareGrant consumes a pooled-spare grant: reprovision the standby
+// from Orion's stored CONFIG (§6.3). A grant the cell cannot use — a
+// retry raced an earlier grant, or the spare slot died meanwhile — is
+// returned to the pool so capacity is conserved.
+func (cs *cellSim) onSpareGrant(f *Fleet, m Message) {
+	if !cs.stat.SpareOK && cs.spareUsable() {
+		if err := cs.d.ProvisionSpare(cs.d.Cfg.Cell); err == nil {
+			cs.stat.SpareOK = true
+			cs.stat.CrossSpare = m.B == 1
+			return
+		}
+	}
+	cs.send(ControllerID, KindSpareRelease, f.latency, m.A, 0, nil)
+}
+
+// onUpgradeKill executes one rolling-upgrade step: only a fully
+// redundant cell (healthy active + healthy standby) takes the
+// maintenance kill, failing over to the standby within the §8.2 bound;
+// the upgraded server rejoins its zone's spare pool after the hold.
+// Cells without redundancy skip the step rather than strand their UEs.
+func (cs *cellSim) onUpgradeKill(f *Fleet) {
+	cell := cs.d.Cfg.Cell
+	active := cs.d.ActivePHYServerOf(cell)
+	standby := cs.d.L2Orion.StandbyServer(cell)
+	ap, sp := cs.d.PHYs[active], cs.d.PHYs[standby]
+	if ap == nil || ap.Crashed() || standby == 0 || sp == nil || sp.Crashed() {
+		cs.stat.UpgSkipped++
+		return
+	}
+	cs.d.KillServer(active)
+	cs.stat.Killed = true
+	cs.stat.Upgraded = true
+	// The drained server finishes its upgrade after the hold and rejoins
+	// the fleet as zone spare capacity.
+	cs.send(ControllerID, KindSpareRelease, f.cfg.UpgradeHold, 0, 0, nil)
+	cs.requestSpare(f)
+}
+
+// requestSpare asks the controller for a pooled spare and, when a
+// recovery deadline is configured, arms a backoff timer that re-requests
+// (doubling the deadline each attempt) until the cell is re-spared or
+// MaxRetries extra attempts are exhausted.
+func (cs *cellSim) requestSpare(f *Fleet) {
+	if cs.stat.SpareOK || !cs.spareUsable() {
+		return
+	}
+	cs.attempts++
+	attempt := cs.attempts
+	cs.send(ControllerID, KindSpareRequest, f.latency, uint64(attempt), 0, nil)
+	if f.cfg.RecoveryDeadline <= 0 || attempt > f.cfg.MaxRetries {
+		return
+	}
+	wait := f.cfg.RecoveryDeadline << uint(attempt-1)
+	cs.eng.After(wait, "fleet.spare-retry", func() {
+		if cs.stat.SpareOK {
+			return
+		}
+		cs.stat.Retries++
+		cs.requestSpare(f)
+	})
 }
 
 // Fleet is the sharded multi-cell engine.
@@ -273,14 +449,47 @@ type Fleet struct {
 	groups  [][]int
 	mbox    Mailbox
 
-	ctlSeq     uint64
-	sparesLeft int
-	grants     int
-	denials    int
-	migPlan    []migCmd
-	migPosted  int
-	exchanged  uint64
-	reg        *trace.Registry
+	// Zone topology (zones ≥ 1; zoneOf maps cell → zone).
+	zones  int
+	zoneOf []int
+	parts  []partWindow
+	faults []string
+
+	// Controller state, touched only at barriers on the coordinator.
+	ctlSeq      uint64
+	zoneSpares  []int
+	overflow    int
+	granted     map[uint16]bool
+	grantsLocal int
+	grantsCross int
+	denials     int
+	dupReqs     int
+	released    int
+	zGrantL     []int
+	zGrantX     []int
+	zDeny       []int
+	migPlan     []migCmd
+	migPosted   int
+	upgPlan     []migCmd
+	upgPosted   int
+	partDefer   uint64
+	partDrop    uint64
+	exchanged   uint64
+	reg         *trace.Registry
+}
+
+// zoned reports whether this run renders topology/zone lines: any
+// multi-zone layout or correlated-fault/deadline knob. Flat PR-5 configs
+// keep their exact report shape.
+func (c Config) zoned() bool {
+	return c.Topo.zonesIn(c.Cells) > 1 || c.RackLosses > 0 || c.Partitions > 0 ||
+		c.UpgradeWaves > 0 || c.RecoveryDeadline > 0
+}
+
+// faulty reports whether any fault family can kill a PHY, which decides
+// whether cells are built with a provisionable spare slot.
+func (c Config) faulty() bool {
+	return c.Kills > 0 || c.RackLosses > 0 || c.UpgradeWaves > 0
 }
 
 type migCmd struct {
@@ -333,6 +542,38 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.Kills > cfg.Cells {
 		cfg.Kills = cfg.Cells
 	}
+	zones := cfg.Topo.zonesIn(cfg.Cells)
+	if cfg.RackLosses > zones {
+		cfg.RackLosses = zones
+	}
+	if cfg.Partitions > 0 && cfg.PartitionLen <= 0 {
+		cfg.PartitionLen = 10 * sim.Millisecond
+	}
+	if cfg.UpgradeWaves > 0 {
+		if cfg.WaveStride <= 0 {
+			cfg.WaveStride = 20 * sim.Millisecond
+		}
+		if cfg.UpgradeHold <= 0 {
+			cfg.UpgradeHold = 30 * sim.Millisecond
+		}
+		if cfg.UpgradeHold < cfg.Step {
+			// Releases ride the mailbox, so the hold must respect the
+			// conservative-synchronization lookahead.
+			cfg.UpgradeHold = cfg.Step
+		}
+	}
+	if cfg.RecoveryDeadline > 0 {
+		if cfg.RecoveryDeadline < 2*cfg.BackhaulLatency {
+			// A deadline shorter than one request/grant round trip would
+			// always fire a spurious retry.
+			cfg.RecoveryDeadline = 2 * cfg.BackhaulLatency
+		}
+		if cfg.MaxRetries <= 0 {
+			cfg.MaxRetries = 3
+		}
+	} else {
+		cfg.MaxRetries = 0
+	}
 	shards := cfg.Shards
 	if shards <= 0 {
 		shards = shardGroups()
@@ -341,10 +582,32 @@ func New(cfg Config) (*Fleet, error) {
 		shards = cfg.Cells
 	}
 
-	f := &Fleet{cfg: cfg, latency: cfg.BackhaulLatency, sparesLeft: cfg.Spares}
+	f := &Fleet{cfg: cfg, latency: cfg.BackhaulLatency, zones: zones}
 	if cfg.Trace {
 		f.reg = trace.NewRegistry()
 	}
+
+	// Zone layout and spare pools. The legacy flat Spares budget folds
+	// into zone 0 for a single-zone fleet (those grants stay "local") and
+	// into the cross-zone overflow pool otherwise.
+	f.zoneOf = make([]int, cfg.Cells)
+	for i := range f.zoneOf {
+		f.zoneOf[i] = ZoneOf(i, cfg.Cells, zones)
+	}
+	f.zoneSpares = make([]int, zones)
+	for z := range f.zoneSpares {
+		f.zoneSpares[z] = cfg.Topo.ZoneSpares
+	}
+	f.overflow = cfg.Topo.OverflowSpares
+	if zones == 1 {
+		f.zoneSpares[0] += cfg.Spares
+	} else {
+		f.overflow += cfg.Spares
+	}
+	f.granted = make(map[uint16]bool)
+	f.zGrantL = make([]int, zones)
+	f.zGrantX = make([]int, zones)
+	f.zDeny = make([]int, zones)
 
 	// Partition cells into contiguous runner groups (balanced within 1).
 	f.groups = make([][]int, shards)
@@ -356,6 +619,9 @@ func New(cfg Config) (*Fleet, error) {
 	root := sim.NewRNG(cfg.Seed ^ 0x5417AD0F1EE7C311)
 	killRNG := root.Fork(1)
 	migRNG := root.Fork(2)
+	rackRNG := root.Fork(3)
+	waveRNG := root.Fork(4)
+	partRNG := root.Fork(5)
 
 	for i := 0; i < cfg.Cells; i++ {
 		f.cells = append(f.cells, f.buildCell(i, perCell))
@@ -396,6 +662,71 @@ func New(cfg Config) (*Fleet, error) {
 			return f.migPlan[a].cell < f.migPlan[b].cell
 		})
 	}
+
+	// Rack losses: each hits one distinct zone, killing every active PHY
+	// in the zone at the same instant — the correlated case pooled
+	// spares exist for.
+	if cfg.RackLosses > 0 {
+		lo, hi := cfg.Settle, cfg.Horizon-80*sim.Millisecond
+		if hi <= lo {
+			hi = lo + 10*sim.Millisecond
+		}
+		perm := rackRNG.Perm(zones)
+		for k := 0; k < cfg.RackLosses; k++ {
+			z := perm[k]
+			t := lo + sim.Time(rackRNG.Float64()*float64(hi-lo))
+			f.faults = append(f.faults, fmt.Sprintf("rack-loss zone=%d at=%dus", z, int64(t/sim.Microsecond)))
+			for _, cs := range f.cells {
+				if f.zoneOf[cs.idx] != z {
+					continue
+				}
+				cs := cs
+				cs.eng.At(t, "fleet.rack-loss", func() { f.execKill(cs) })
+			}
+		}
+	}
+
+	// Switch partitions: a zone falls off the inter-shard fabric for a
+	// window. Deferral happens at drain time (see exchange), so the
+	// schedule only needs the windows.
+	if cfg.Partitions > 0 {
+		lo, hi := cfg.Settle, cfg.Horizon-cfg.PartitionLen-40*sim.Millisecond
+		if hi <= lo {
+			hi = lo + 10*sim.Millisecond
+		}
+		for k := 0; k < cfg.Partitions; k++ {
+			z := partRNG.Intn(zones)
+			t := lo + sim.Time(partRNG.Float64()*float64(hi-lo))
+			f.parts = append(f.parts, partWindow{zone: z, start: t, end: t + cfg.PartitionLen})
+			f.faults = append(f.faults, fmt.Sprintf("partition zone=%d window=[%dus,%dus)",
+				z, int64(t/sim.Microsecond), int64((t+cfg.PartitionLen)/sim.Microsecond)))
+		}
+	}
+
+	// Rolling upgrade waves: zone z's cells take their maintenance kill
+	// at start + z·stride, posted through the mailbox like migration
+	// commands (so a partitioned zone's upgrade defers to the heal).
+	if cfg.UpgradeWaves > 0 {
+		span := sim.Time(zones) * cfg.WaveStride
+		lo, hi := cfg.Settle, cfg.Horizon-span-120*sim.Millisecond
+		if hi <= lo {
+			hi = lo + 10*sim.Millisecond
+		}
+		for w := 0; w < cfg.UpgradeWaves; w++ {
+			start := lo + sim.Time(waveRNG.Float64()*float64(hi-lo))
+			f.faults = append(f.faults, fmt.Sprintf("upgrade-wave start=%dus stride=%dus",
+				int64(start/sim.Microsecond), int64(cfg.WaveStride/sim.Microsecond)))
+			for ci := 0; ci < cfg.Cells; ci++ {
+				f.upgPlan = append(f.upgPlan, migCmd{at: start + sim.Time(f.zoneOf[ci])*cfg.WaveStride, cell: ci})
+			}
+		}
+		sort.Slice(f.upgPlan, func(a, b int) bool {
+			if f.upgPlan[a].at != f.upgPlan[b].at {
+				return f.upgPlan[a].at < f.upgPlan[b].at
+			}
+			return f.upgPlan[a].cell < f.upgPlan[b].cell
+		})
+	}
 	return f, nil
 }
 
@@ -407,7 +738,7 @@ func (f *Fleet) buildCell(idx, perCell int) *cellSim {
 	ccfg.Seed = f.cfg.Seed*0x9E3779B97F4A7C15 + uint64(idx+1)
 	ccfg.Cell = 0
 	ccfg.CellSeed = 0x517E ^ uint64(idx)*0x1001
-	if f.cfg.Kills > 0 {
+	if f.cfg.faulty() {
 		ccfg.SpareServer = 3
 	}
 	ccfg.UEs = nil
@@ -430,7 +761,7 @@ func (f *Fleet) buildCell(idx, perCell int) *cellSim {
 		rec:   ccfg.Trace,
 		ulSeq: make([]uint64, perCell),
 		dlSeq: make([]uint64, perCell),
-		stat:  CellStat{Cell: idx, UEs: perCell},
+		stat:  CellStat{Cell: idx, Zone: f.zoneOf[idx], UEs: perCell},
 	}
 	cs.chk = chaos.Attach(d)
 
@@ -504,7 +835,7 @@ func (f *Fleet) execKill(cs *cellSim) {
 	}
 	cs.d.KillServer(active)
 	cs.stat.Killed = true
-	cs.send(ControllerID, KindSpareRequest, f.latency, uint64(active), 0, nil)
+	cs.requestSpare(f)
 }
 
 // post enqueues one controller-originated message.
@@ -534,14 +865,38 @@ func (f *Fleet) exchange(now, next sim.Time) error {
 		cs.out = cs.out[:0]
 	}
 
-	// Controller: migration-storm commands fall due on the barrier grid.
+	// Controller: migration-storm and upgrade-wave commands fall due on
+	// the barrier grid.
 	for f.migPosted < len(f.migPlan) && f.migPlan[f.migPosted].at <= now {
 		cmd := f.migPlan[f.migPosted]
 		f.migPosted++
 		f.post(uint16(cmd.cell), KindMigrateCmd, now+f.latency, 0, 0)
 	}
+	for f.upgPosted < len(f.upgPlan) && f.upgPlan[f.upgPosted].at <= now {
+		cmd := f.upgPlan[f.upgPosted]
+		f.upgPosted++
+		f.post(uint16(cmd.cell), KindUpgradeKill, now+f.latency, 0, 0)
+	}
 
-	f.exchanged += uint64(f.mbox.DrainUpTo(next, func(m Message) {
+	f.mbox.DrainUpTo(next, func(m Message) {
+		// Switch partition: a message touching a partitioned zone inside
+		// its window is deferred to the heal (best-effort backhaul load
+		// reports are dropped outright). Re-posting with only At changed
+		// keeps the canonical (At, Src, Seq) order shard-invariant, and
+		// the window end is strictly after `now`, so conservative
+		// synchronization still holds.
+		if w := f.partitionAt(m); w != nil {
+			if m.Kind == KindBackhaul {
+				f.partDrop++
+				return
+			}
+			f.partDefer++
+			held := m
+			held.At = w.end
+			f.mbox.Post(held)
+			return
+		}
+		f.exchanged++
 		if m.Dst == ControllerID {
 			f.handleControl(m)
 			return
@@ -552,23 +907,83 @@ func (f *Fleet) exchange(now, next sim.Time) error {
 		dst := f.cells[m.Dst]
 		held := m
 		dst.eng.At(m.At, "fleet.deliver", func() { dst.onMessage(f, held) })
-	}))
+	})
 	return nil
 }
 
+// partitionAt returns the partition window blocking m at its delivery
+// time, or nil. The controller sits outside every zone, so only the
+// cell-side endpoint decides; the window is half-open, so a deferred
+// message delivers at the heal instant without re-deferring.
+func (f *Fleet) partitionAt(m Message) *partWindow {
+	for i := range f.parts {
+		w := &f.parts[i]
+		if m.At < w.start || m.At >= w.end {
+			continue
+		}
+		if f.cellZone(m.Src) == w.zone || f.cellZone(m.Dst) == w.zone {
+			return w
+		}
+	}
+	return nil
+}
+
+// cellZone maps a shard id to its zone, or -1 for the controller and
+// out-of-range ids.
+func (f *Fleet) cellZone(id uint16) int {
+	if int(id) >= len(f.zoneOf) {
+		return -1
+	}
+	return f.zoneOf[id]
+}
+
 // handleControl processes one controller-bound message at the barrier.
-// Requests drain in canonical order, so pool allocation is deterministic.
+// Requests drain in canonical (At, Src, Seq) order, so pool allocation —
+// including two zones racing for the last overflow spare — is
+// deterministic. Graceful degradation: zone-local grant first, overflow
+// grant with the cross-zone penalty, deny last (the cell then offloads
+// via ring handover).
 func (f *Fleet) handleControl(m Message) {
 	switch m.Kind {
 	case KindSpareRequest:
-		if f.sparesLeft > 0 {
-			f.sparesLeft--
-			f.grants++
+		z := f.cellZone(m.Src)
+		if z < 0 {
+			return
+		}
+		if f.granted[m.Src] {
+			// A backoff retry raced the in-flight (or consumed) grant;
+			// granting again would leak pool capacity.
+			f.dupReqs++
+			return
+		}
+		switch {
+		case f.zoneSpares[z] > 0:
+			f.zoneSpares[z]--
+			f.grantsLocal++
+			f.zGrantL[z]++
+			f.granted[m.Src] = true
 			f.post(m.Src, KindSpareGrant, m.At+f.latency, m.A, 0)
-		} else {
+		case f.overflow > 0:
+			f.overflow--
+			f.grantsCross++
+			f.zGrantX[z]++
+			f.granted[m.Src] = true
+			f.post(m.Src, KindSpareGrant, m.At+f.latency+f.cfg.Topo.CrossZonePenalty, m.A, 1)
+		default:
 			f.denials++
+			f.zDeny[z]++
 			f.post(m.Src, KindSpareDeny, m.At+f.latency, m.A, 0)
 		}
+	case KindSpareRelease:
+		z := f.cellZone(m.Src)
+		if z < 0 {
+			return
+		}
+		f.released++
+		f.zoneSpares[z]++
+		// An upgraded (or returned) server is fresh capacity: the source
+		// may legitimately need a spare again later.
+		delete(f.granted, m.Src)
 	}
 }
 
@@ -608,11 +1023,19 @@ func (f *Fleet) Run() (*Report, error) {
 // report finalizes per-cell stats into the deterministic fleet report.
 func (f *Fleet) report() *Report {
 	r := &Report{
-		Cfg:         f.cfg,
-		Grants:      f.grants,
-		Denials:     f.denials,
-		MigrateCmds: f.migPosted,
-		Exchanged:   f.exchanged,
+		Cfg:          f.cfg,
+		Faults:       f.faults,
+		Grants:       f.grantsLocal + f.grantsCross,
+		GrantsLocal:  f.grantsLocal,
+		GrantsCross:  f.grantsCross,
+		Denials:      f.denials,
+		DupReqs:      f.dupReqs,
+		Released:     f.released,
+		MigrateCmds:  f.migPosted,
+		UpgradeCmds:  f.upgPosted,
+		PartDeferred: f.partDefer,
+		PartDropped:  f.partDrop,
+		Exchanged:    f.exchanged,
 	}
 	for _, cs := range f.cells {
 		st := cs.stat
@@ -637,8 +1060,41 @@ func (f *Fleet) report() *Report {
 	if f.reg != nil {
 		r.counters = f.reg.Exposition()
 	}
+	if f.cfg.zoned() {
+		r.Zones = f.zoneStats(r)
+	}
 	r.Fingerprint = fnvString(r.body())
 	return r
+}
+
+// zoneStats folds per-cell outcomes into per-zone aggregates. Zone
+// availability is the served fraction of the zone's cell·TTI budget —
+// dropped TTIs are the §8.2 failover-gap sums the checker measured.
+func (f *Fleet) zoneStats(r *Report) []ZoneStat {
+	slots := uint64(f.cfg.Horizon / f.cfg.Step)
+	zs := make([]ZoneStat, f.zones)
+	for z := range zs {
+		zs[z] = ZoneStat{Zone: z, GrantsLocal: f.zGrantL[z], GrantsCross: f.zGrantX[z], Denied: f.zDeny[z]}
+	}
+	for _, st := range r.Cells {
+		z := &zs[st.Zone]
+		z.Cells++
+		z.Dropped += st.Dropped
+		z.Retries += st.Retries
+		if st.Killed {
+			z.Killed++
+		}
+		if st.SpareOK {
+			z.Respared++
+		}
+	}
+	for z := range zs {
+		total := uint64(zs[z].Cells) * slots
+		if total > 0 {
+			zs[z].Availability = 100 * (1 - float64(zs[z].Dropped)/float64(total))
+		}
+	}
+	return zs
 }
 
 // CellReports renders each cell's outcome as a chaos.Report so fleet
@@ -646,9 +1102,15 @@ func (f *Fleet) report() *Report {
 func (f *Fleet) CellReports(rep *Report) []*chaos.Report {
 	out := make([]*chaos.Report, 0, len(f.cells))
 	for i, cs := range f.cells {
+		// Zone-tagged profiles give SoakReports a per-zone breakdown when
+		// the fleet has a real topology; flat fleets keep the PR-5 names.
+		profile := fmt.Sprintf("fleet-cell%d", i)
+		if f.zones > 1 {
+			profile = fmt.Sprintf("fleet-z%d-cell%d", f.zoneOf[i], i)
+		}
 		cr := &chaos.Report{
 			Seed:            f.cfg.Seed,
-			Profile:         fmt.Sprintf("fleet-cell%d", i),
+			Profile:         profile,
 			Horizon:         f.cfg.Horizon,
 			Violations:      cs.chk.Violations(),
 			TotalViolations: cs.chk.Total,

@@ -18,6 +18,9 @@ func corpusMessages() []Message {
 		{At: 2_000_000, Src: ControllerID, Dst: 18, Seq: 44, Kind: KindSpareDeny, A: 2},
 		{At: 3_000_000, Src: ControllerID, Dst: 5, Seq: 45, Kind: KindMigrateCmd},
 		{At: 4_000_000, Src: 5, Dst: 6, Seq: 46, Kind: KindHandover, A: 12},
+		{At: 5_000_000, Src: ControllerID, Dst: 7, Seq: 47, Kind: KindUpgradeKill},
+		{At: 6_000_000, Src: 7, Dst: ControllerID, Seq: 48, Kind: KindSpareRelease},
+		{At: 6_500_000, Src: 0xFFFE, Dst: ControllerID, Seq: 49, Kind: KindSpareRelease, A: ^uint64(0)},
 		{At: -1, Src: 0xFFFE, Dst: 0xFFFE, Seq: ^uint64(0), Kind: KindHandover, B: ^uint64(0)},
 		{At: 1, Src: 3, Dst: 4, Seq: 2, Kind: KindBackhaul, Payload: bytes.Repeat([]byte{0xAB}, 300)},
 	}
@@ -94,6 +97,8 @@ func TestCodecRoundTrip(t *testing.T) {
 // TestCodecRejects pins the validation errors.
 func TestCodecRejects(t *testing.T) {
 	good := Encode(&Message{At: sim.Time(7), Src: 1, Dst: 2, Seq: 3, Kind: KindHandover, Payload: []byte{9, 9}})
+	upg := Encode(&Message{At: sim.Time(11), Src: ControllerID, Dst: 4, Seq: 9, Kind: KindUpgradeKill})
+	rel := Encode(&Message{At: sim.Time(12), Src: 4, Dst: ControllerID, Seq: 10, Kind: KindSpareRelease})
 	cases := map[string][]byte{
 		"empty":          {},
 		"short":          good[:headerLen-1],
@@ -103,6 +108,11 @@ func TestCodecRejects(t *testing.T) {
 		"dirty reserved": mutate(good, 39, 0x01),
 		"trailing bytes": append(append([]byte{}, good...), 0xFF),
 		"truncated body": good[:len(good)-1],
+		// The new partition/zone-era kinds stay strict too: the kind byte
+		// is valid only in [1, kindEnd), reserved bytes must be zero.
+		"upgrade-kill dirty reserved": mutate(upg, 40, 0x80),
+		"spare-release trailing":      append(append([]byte{}, rel...), 0x00),
+		"spare-release truncated":     rel[:headerLen-2],
 	}
 	for name, data := range cases {
 		if _, err := Decode(data); err == nil {

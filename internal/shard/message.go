@@ -43,6 +43,15 @@ const (
 	// KindHandover carries load a spare-denied cell offloads to its ring
 	// neighbor (A = offloaded units).
 	KindHandover
+	// KindUpgradeKill is one step of a rolling upgrade wave: the cell
+	// takes its active PHY down for maintenance (failing over to the hot
+	// standby), asks for a pooled spare, and returns the upgraded server
+	// to its zone's pool via KindSpareRelease after the hold elapses.
+	KindUpgradeKill
+	// KindSpareRelease returns one unit of spare capacity to the source
+	// cell's zone pool: an upgraded server rejoining after its hold, or a
+	// grant the cell could not use (spare already serving / crashed).
+	KindSpareRelease
 
 	kindEnd // one past the last valid kind
 )
@@ -54,6 +63,8 @@ var kindNames = [...]string{
 	KindSpareDeny:    "spare-deny",
 	KindMigrateCmd:   "migrate-cmd",
 	KindHandover:     "handover",
+	KindUpgradeKill:  "upgrade-kill",
+	KindSpareRelease: "spare-release",
 }
 
 func (k Kind) String() string {

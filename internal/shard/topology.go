@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"math"
+
+	"slingshot/internal/sim"
+)
+
+// Topology groups the fleet's cells into failure zones (racks behind a
+// shared switch). Zones are the blast radius of correlated faults — a
+// rack loss kills every active PHY in one zone at once, a switch
+// partition defers the zone's mailbox traffic for a window — and the
+// home of pooled spare capacity: each zone owns ZoneSpares spares, with
+// an optional fleet-global overflow pool granted cross-zone at an extra
+// backhaul-latency penalty (the grant has to traverse the aggregation
+// switch, as in "Designing Reliable Virtualized RANs").
+type Topology struct {
+	// Zones is the rack count; cells map to zones contiguously and
+	// balanced within one (cell c → zone c*Zones/Cells, mirroring the
+	// runner-group partition). 0 or 1 means a flat fleet.
+	Zones int
+
+	// ZoneSpares is the spare-PHY budget homed in each zone, granted
+	// zone-locally first. OverflowSpares is the fleet-global pool used
+	// once a requester's zone is exhausted; overflow grants arrive with
+	// CrossZonePenalty extra latency.
+	ZoneSpares     int
+	OverflowSpares int
+
+	// CrossZonePenalty is added to the grant's delivery latency when the
+	// spare comes from the overflow pool instead of the zone pool.
+	CrossZonePenalty sim.Time
+}
+
+// zonesIn clamps the configured zone count to [1, cells].
+func (t Topology) zonesIn(cells int) int {
+	z := t.Zones
+	if z < 1 {
+		z = 1
+	}
+	if z > cells {
+		z = cells
+	}
+	return z
+}
+
+// ZoneOf maps a cell index to its zone under the contiguous balanced
+// partition (same arithmetic as the runner-group split, so a zone is
+// always a contiguous cell range).
+func ZoneOf(cell, cells, zones int) int {
+	if cells <= 0 || zones <= 0 {
+		return 0
+	}
+	return cell * zones / cells
+}
+
+// ZoneCells returns how many cells land in zone z of a cells/zones fleet.
+func ZoneCells(z, cells, zones int) int {
+	n := 0
+	for c := 0; c < cells; c++ {
+		if ZoneOf(c, cells, zones) == z {
+			n++
+		}
+	}
+	return n
+}
+
+// SpareBudget splits a fleet-wide spare budget of round(ratio·cells)
+// into a per-zone share plus a fleet-global overflow remainder. This is
+// the knob the frontier sweep turns: ratio 0 means no redundancy at
+// all, ratio 1 means one pooled spare per cell.
+func SpareBudget(ratio float64, cells, zones int) (perZone, overflow int) {
+	if ratio < 0 || cells <= 0 {
+		return 0, 0
+	}
+	if zones < 1 {
+		zones = 1
+	}
+	budget := int(math.Round(ratio * float64(cells)))
+	return budget / zones, budget % zones
+}
+
+// partWindow is one scheduled switch partition: messages whose source or
+// destination cell is in the zone, with delivery time inside [start,
+// end), are deferred to end (dropped, for best-effort backhaul load
+// reports). Deferral preserves the canonical (At, Src, Seq) drain order
+// because Src/Seq are untouched and every shard observes the same
+// windows at the same barriers.
+type partWindow struct {
+	zone       int
+	start, end sim.Time
+}

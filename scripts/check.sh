@@ -69,6 +69,28 @@ if [ "$A" != "$B" ]; then
 fi
 printf '%s\n' "$A" | grep fingerprint
 
+echo "== correlated-chaos determinism lane (-race, rack-loss, shards=1 vs shards=4) =="
+# Correlated faults ride the same contract: a rack-loss schedule over a
+# zoned topology (zone kills, spare grants, retries, partitions deferred
+# at zone boundaries) must render byte-identically however the cells are
+# grouped, with the worker pool live under the race detector.
+CORR_ARGS="-cells 8 -ues 48 -fleet-profile rack-loss -seed 11"
+# shellcheck disable=SC2086
+A="$(SLINGSHOT_WORKERS=4 go run -race ./cmd/experiments $CORR_ARGS -shards 1)"
+# shellcheck disable=SC2086
+B="$(SLINGSHOT_WORKERS=4 go run -race ./cmd/experiments $CORR_ARGS -shards 4)"
+if [ "$A" != "$B" ]; then
+    echo "correlated fleet report diverged between shards=1 and shards=4:" >&2
+    printf '--- shards=1 ---\n%s\n--- shards=4 ---\n%s\n' "$A" "$B" >&2
+    exit 1
+fi
+printf '%s\n' "$A" | grep fingerprint
+
+echo "== frontier smoke (availability-vs-spare-ratio sweep) =="
+# The sweep must complete with zero invariant violations and print its
+# deterministic table + fingerprint; a small -scale keeps it quick.
+go run ./cmd/experiments -run frontier -scale 0.2 | tail -6
+
 echo "== metro scale lane (-race, 100 cells / 10k UEs) =="
 # The headline scale target: a 100-cell, 10k-UE lockstep fleet must
 # complete cleanly under the race detector (short horizon: the point is

@@ -250,6 +250,11 @@ type MetroOptions struct {
 	// plus a migration storm — with the §8.2 ≤3-dropped-TTI invariant
 	// checked per cell.
 	Chaos bool
+	// Profile selects a correlated-failure scenario over a zoned
+	// topology instead: "independent", "rack-loss", "partition" or
+	// "upgrade-wave" (see shard.CorrelatedConfig). Takes precedence over
+	// Chaos when both are set.
+	Profile string
 	// Trace aggregates every cell's counters into the report.
 	Trace bool
 }
@@ -262,6 +267,13 @@ func Metro(opts MetroOptions) (string, error) {
 	cfg := shard.DefaultConfig(opts.Cells, opts.UEs)
 	if opts.Chaos {
 		cfg = shard.ChaosConfig(opts.Cells, opts.UEs)
+	}
+	if opts.Profile != "" {
+		c, err := shard.CorrelatedConfig(opts.Profile, opts.Cells, opts.UEs)
+		if err != nil {
+			return "", err
+		}
+		cfg = c
 	}
 	if opts.Seed != 0 {
 		cfg.Seed = opts.Seed
@@ -301,6 +313,59 @@ func MetroSoak(n, cells, ues int) (string, bool) {
 		return "", true
 	}
 	return failing.String(), false
+}
+
+// FrontierOptions configures an availability-vs-spare-ratio sweep: a
+// scenario × spare-ratio × seed grid of fleet runs, aggregated into a
+// deterministic frontier table (availability plus the per-cell
+// dropped-TTI P50/P99/max SLO view).
+type FrontierOptions struct {
+	// Cells and UEs size every fleet run in the grid (defaults 8 / 48).
+	Cells int
+	UEs   int
+	// Shards is the execution knob (0 = SLINGSHOT_SHARDS); the table is
+	// byte-identical at any value.
+	Shards int
+	// Seeds runs each grid point for seeds 1..Seeds (default 1).
+	Seeds int
+	// Scenarios defaults to every frontier scenario: independent,
+	// rack-loss, partition, upgrade-wave.
+	Scenarios []string
+	// Ratios are the pooled-spares-per-cell budgets to sweep (default
+	// 0, 0.25, 0.5, 1).
+	Ratios []float64
+	// Horizon overrides each run's virtual length (0 keeps the scenario
+	// default, 400ms).
+	Horizon time.Duration
+}
+
+// Frontier sweeps spare-pool budgets against independent and correlated
+// failure scenarios and returns the availability-vs-spare-ratio table.
+// The error is non-nil when a run could not be built or any grid point
+// recorded a cross-layer invariant violation (availability loss alone is
+// data, not an error).
+func Frontier(opts FrontierOptions) (string, error) {
+	if opts.Cells == 0 {
+		opts.Cells = 8
+	}
+	if opts.UEs == 0 {
+		opts.UEs = opts.Cells * 6
+	}
+	spec := chaos.FrontierSpec{Scenarios: opts.Scenarios, Ratios: opts.Ratios, Seeds: opts.Seeds}
+	if len(spec.Scenarios) == 0 {
+		spec.Scenarios = shard.FrontierScenarios
+	}
+	if len(spec.Ratios) == 0 {
+		spec.Ratios = []float64{0, 0.25, 0.5, 1}
+	}
+	rep, err := chaos.Frontier(spec, func(scenario string, ratio float64, seed uint64) (chaos.FrontierSample, error) {
+		return shard.FrontierSample(scenario, opts.Cells, opts.UEs, opts.Shards,
+			sim.FromDuration(opts.Horizon), ratio, seed)
+	})
+	if err != nil {
+		return "", err
+	}
+	return rep.String(), rep.Err()
 }
 
 // soakError renders a fleet build/run failure as a failing soak report so

@@ -109,7 +109,7 @@ func TestFacadeDeterminism(t *testing.T) {
 
 func TestExperimentRegistryComplete(t *testing.T) {
 	want := []string{"ablations", "chaos", "extl2", "extmimo", "fig10a", "fig10b", "fig11", "fig12",
-		"fig3", "fig8", "fig9", "sec82", "sec85", "sec86", "table2"}
+		"fig3", "fig8", "fig9", "frontier", "sec82", "sec85", "sec86", "table2"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("experiments = %v", got)
