@@ -7,6 +7,7 @@ package dsp
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Modulation identifies a QAM constellation.
@@ -77,15 +78,85 @@ func normFactor(bitsPerAxis int) float64 {
 // pamTables caches the four constellation tables (half ∈ 1..4) so the
 // modulate/demodulate hot paths never rebuild or allocate them. Built once
 // at init, read-only afterwards — safe from worker goroutines.
+//
+// Beyond the raw Gray level map, each entry carries the closed-form
+// demodulator's precomputed state (DESIGN.md §13): the already-scaled
+// amplitude per bit pattern (hoisting the per-use lv*scale multiply — the
+// product is rounded once here, so every downstream float is bit-identical
+// to computing it inline), and the per-bracket nearest-level candidate
+// table described at demodTable.
 var pamTables [5]struct {
 	levels []float64
-	scale  float64 // 1/normFactor
+	scale  float64   // 1/normFactor
+	scaled []float64 // levels[pattern] * scale, rounded once
+	// Closed-form demod state: y is bracketed between adjacent levels by
+	// one multiply, then cand holds the candidate scaled levels per
+	// (bracket, bit, class). base = scaled level at position 0, invStep =
+	// 1 / (2*scale) (the level spacing is 2*scale).
+	base    float64
+	invStep float64
+	cand    []float64
+}
+
+// demodTable builds the candidate table for the closed-form max-log
+// demodulator. Positions 0..n-1 are the levels in ascending amplitude
+// (position p has amplitude 2p-n+1 and Gray bit pattern p^(p>>1)). For a
+// received y bracketed between positions j and j+1 (rows are indexed j+1 ∈
+// 0..n, covering j = -1 and j = n-1 for y outside the constellation), the
+// max-log minimum over a bit class is achieved by one of exactly two
+// levels: the nearest class member at position ≤ j and the nearest at
+// position ≥ j+1 — every other member is farther from y on the same side,
+// so its squared distance can never win the (monotone) float min. Rows
+// hold 4 candidates per bit — {lo,hi} × {class 0, class 1} — as scaled
+// floats; a missing candidate (no class member on that side) is +Inf,
+// whose squared distance is +Inf and never selected over a finite one.
+func demodTable(half int, scaled []float64) []float64 {
+	n := 1 << half
+	// slv[p] = scaled level at ascending position p.
+	slv := make([]float64, n)
+	for p := 0; p < n; p++ {
+		slv[p] = scaled[p^(p>>1)] // pattern p^(p>>1) has amplitude 2p-n+1
+	}
+	bit := func(p, b int) int { g := p ^ (p >> 1); return g >> (half - 1 - b) & 1 }
+	tab := make([]float64, (n+1)*half*4)
+	for j := -1; j < n; j++ {
+		row := tab[(j+1)*half*4:]
+		for b := 0; b < half; b++ {
+			for class := 0; class < 2; class++ {
+				lo, hi := math.Inf(1), math.Inf(1)
+				for p := j; p >= 0; p-- {
+					if bit(p, b) == class {
+						lo = slv[p]
+						break
+					}
+				}
+				for p := j + 1; p < n; p++ {
+					if bit(p, b) == class {
+						hi = slv[p]
+						break
+					}
+				}
+				row[b*4+class*2] = lo
+				row[b*4+class*2+1] = hi
+			}
+		}
+	}
+	return tab
 }
 
 func init() {
 	for half := 1; half <= 4; half++ {
-		pamTables[half].levels = pamLevels(half)
-		pamTables[half].scale = 1 / normFactor(half)
+		t := &pamTables[half]
+		t.levels = pamLevels(half)
+		t.scale = 1 / normFactor(half)
+		t.scaled = make([]float64, len(t.levels))
+		for i, lv := range t.levels {
+			t.scaled[i] = lv * t.scale
+		}
+		t.cand = demodTable(half, t.scaled)
+		n := 1 << half
+		t.base = float64(1-n) * t.scale // scaled level at position 0
+		t.invStep = 1 / (2 * t.scale)
 	}
 }
 
@@ -104,8 +175,7 @@ func AppendModulate(dst []complex128, bits []byte, m Modulation) []complex128 {
 		panic(fmt.Sprintf("dsp: %d bits not a multiple of %d", len(bits), bps))
 	}
 	half := bps / 2
-	levels := pamTables[half].levels
-	scale := pamTables[half].scale
+	scaled := pamTables[half].scaled
 	n := len(bits) / bps
 	for s := 0; s < n; s++ {
 		var iBits, qBits int
@@ -113,7 +183,7 @@ func AppendModulate(dst []complex128, bits []byte, m Modulation) []complex128 {
 			iBits = iBits<<1 | int(bits[s*bps+b])
 			qBits = qBits<<1 | int(bits[s*bps+half+b])
 		}
-		dst = append(dst, complex(levels[iBits]*scale, levels[qBits]*scale))
+		dst = append(dst, complex(scaled[iBits], scaled[qBits]))
 	}
 	return dst
 }
@@ -128,57 +198,121 @@ func Demodulate(symbols []complex128, m Modulation, noiseVar float64) []float64 
 // DemodulateInto is Demodulate writing into dst (grown as needed), so hot
 // paths can reuse one LLR buffer per block instead of allocating per call.
 // It returns dst resized to len(symbols)*BitsPerSymbol.
+//
+// The metric is evaluated in closed form (DESIGN.md §13) instead of
+// scanning the constellation: one multiply brackets the axis value between
+// adjacent levels, and per bit the two precomputed candidate levels from
+// pamTables decide both class minima. Arithmetic order and rounding match
+// the retained scan (DemodulateReference) exactly, so the output is
+// bit-identical for all finite inputs; the mins are taken on the float
+// bit patterns (non-negative doubles order as their bits), which compiles
+// to branch-free compare/select.
 func DemodulateInto(dst []float64, symbols []complex128, m Modulation, noiseVar float64) []float64 {
 	bps := m.BitsPerSymbol()
 	half := bps / 2
-	levels := pamTables[half].levels
-	scale := pamTables[half].scale
+	t := &pamTables[half]
 	if noiseVar <= 0 {
 		noiseVar = 1e-9
 	}
-	// Per-axis noise variance.
+	// Per-axis noise variance; the reference divides by 2*sigma2 per bit,
+	// so hoist that exact product.
 	sigma2 := noiseVar / 2
+	den := 2 * sigma2
 
 	need := len(symbols) * bps
 	if cap(dst) < need {
 		dst = make([]float64, need)
 	}
 	dst = dst[:need]
+	if half == 1 {
+		// QPSK: one bit per axis, levels ±scale. min0/min1 are singleton
+		// scans — inline them (y - (-a) == y + a exactly).
+		a := t.scale
+		for s, sym := range symbols {
+			o := dst[s*2 : s*2+2 : s*2+2]
+			yi, yq := real(sym), imag(sym)
+			d0 := yi + a
+			d1 := yi - a
+			o[0] = (d1*d1 - d0*d0) / den
+			d0 = yq + a
+			d1 = yq - a
+			o[1] = (d1*d1 - d0*d0) / den
+		}
+		return dst
+	}
+	n := 1 << half
+	base, invStep, cand := t.base, t.invStep, t.cand
+	rowLen := half * 4
 	for s, sym := range symbols {
-		axisLLR(real(sym), levels, scale, sigma2, half, dst[s*bps:])
-		axisLLR(imag(sym), levels, scale, sigma2, half, dst[s*bps+half:])
+		out := dst[s*bps : s*bps+bps : s*bps+bps]
+		yi, yq := real(sym), imag(sym)
+		axisLLRClosed(yi, base, invStep, den, cand, n, half, rowLen, out[:half])
+		axisLLRClosed(yq, base, invStep, den, cand, n, half, rowLen, out[half:])
 	}
 	return dst
 }
 
-// axisLLR fills out[:half] with the max-log LLRs of one PAM axis:
-// (min_{x: bit=1} (y-x)^2 - min_{x: bit=0} (y-x)^2) / (2 sigma2).
-func axisLLR(y float64, levels []float64, scale, sigma2 float64, half int, out []float64) {
-	for b := 0; b < half; b++ {
-		min0, min1 := math.Inf(1), math.Inf(1)
-		for pattern, lv := range levels {
-			d := y - lv*scale
-			d2 := d * d
-			if pattern&(1<<(half-1-b)) == 0 {
-				if d2 < min0 {
-					min0 = d2
-				}
-			} else if d2 < min1 {
-				min1 = d2
-			}
+// axisLLRClosed fills out[:half] with one axis's max-log LLRs from the
+// precomputed candidate table. The bracket index j (y between levels j and
+// j+1) tolerates the truncation being off by one near a level: the
+// candidate that bracket misses is dominated by the level it keeps, so the
+// float min is unchanged (see demodTable).
+func axisLLRClosed(y, base, invStep, den float64, cand []float64, n, half, rowLen int, out []float64) {
+	j := int((y - base) * invStep)
+	if y < base {
+		j = -1
+	}
+	if j > n-1 {
+		j = n - 1
+	}
+	row := cand[(j+1)*rowLen : (j+2)*rowLen]
+	for b := range out {
+		r := row[b*4 : b*4+4 : b*4+4]
+		dl0 := y - r[0]
+		dh0 := y - r[1]
+		dl1 := y - r[2]
+		dh1 := y - r[3]
+		u0 := math.Float64bits(dl0 * dl0)
+		if h := math.Float64bits(dh0 * dh0); h < u0 {
+			u0 = h
 		}
-		out[b] = (min1 - min0) / (2 * sigma2)
+		u1 := math.Float64bits(dl1 * dl1)
+		if h := math.Float64bits(dh1 * dh1); h < u1 {
+			u1 = h
+		}
+		out[b] = (math.Float64frombits(u1) - math.Float64frombits(u0)) / den
 	}
 }
 
+// llrPool recycles the scratch LLR buffers behind HardDemodulate so hard
+// decisions allocate nothing beyond the caller-visible bit slice.
+var llrPool = sync.Pool{New: func() any { return new([]float64) }}
+
 // HardDemodulate returns hard bit decisions (0/1 per byte) for symbols.
+// The soft scratch is pooled; only the returned slice is allocated. Use
+// HardDemodulateInto to reuse the output buffer too.
 func HardDemodulate(symbols []complex128, m Modulation) []byte {
-	llr := Demodulate(symbols, m, 1)
-	bits := make([]byte, len(llr))
+	return HardDemodulateInto(nil, symbols, m)
+}
+
+// HardDemodulateInto is HardDemodulate appending into bits (grown as
+// needed, returned resized), with pooled internal LLR scratch — zero
+// allocations at steady state when bits has capacity.
+func HardDemodulateInto(bits []byte, symbols []complex128, m Modulation) []byte {
+	sp := llrPool.Get().(*[]float64)
+	llr := DemodulateInto(*sp, symbols, m, 1)
+	*sp = llr[:0]
+	if cap(bits) < len(llr) {
+		bits = make([]byte, len(llr))
+	}
+	bits = bits[:len(llr)]
 	for i, v := range llr {
 		if v < 0 {
 			bits[i] = 1
+		} else {
+			bits[i] = 0
 		}
 	}
+	llrPool.Put(sp)
 	return bits
 }

@@ -15,6 +15,14 @@ type DecodeJob struct {
 	// info bits and the result's Info aliases it — no per-job allocation.
 	// Leave nil to have the batch allocate a fresh copy.
 	Info []byte
+	// LLRI8, when non-nil, supplies the block's soft values through the
+	// int8 quantized-LLR lane instead of LLR (which is then ignored): the
+	// batch dequantizes into pooled scratch and decodes the floats, so the
+	// result is bit-identical to decoding the dequantized values and the
+	// lane preserves grouping/worker/pooling invariance (llri8.go).
+	LLRI8 []int8
+	// LLRI8Step is the lane's dequantization step; 0 means LLRI8Step.
+	LLRI8Step float64
 }
 
 // DecodeBatch fans a slot's transport-block decodes across the bounded
@@ -33,25 +41,66 @@ func DecodeBatch(jobs []DecodeJob) []DecodeResult {
 	return out
 }
 
-// batchCtx carries one DecodeBatchInto call's slices plus a long-lived
-// closure over itself, so handing work to par.ForEach does not allocate a
-// fresh escaping closure per batch.
+// batchCtx carries one DecodeBatchInto call's slices plus long-lived
+// closures over itself, so handing work to par.ForEach does not allocate a
+// fresh escaping closure per batch. units holds the batch's lane grouping:
+// {start, count} runs of jobs, where count == SoALanes marks a group the
+// SoA kernel decodes in lockstep and anything smaller decodes through the
+// single-block kernel.
 type batchCtx struct {
 	results []DecodeResult
 	jobs    []DecodeJob
+	units   [][2]int32
 	fn      func(int)
+	unitFn  func(int)
 }
 
 var batchCtxPool = sync.Pool{New: func() any {
 	b := &batchCtx{}
 	b.fn = b.decode
+	b.unitFn = b.runUnit
 	return b
 }}
+
+// runUnit decodes one grouped unit: a full lane group through the SoA
+// kernel, or a leftover run job-by-job.
+func (b *batchCtx) runUnit(u int) {
+	start, n := int(b.units[u][0]), int(b.units[u][1])
+	if n == SoALanes {
+		c := b.jobs[start].Code
+		jobs := b.jobs[start : start+n]
+		// i8-lane jobs dequantize into borrowed scalar scratch before the
+		// SoA kernel loads lanes; the kernel itself only ever sees floats.
+		var tmp [SoALanes]*DecodeScratch
+		for l := range jobs {
+			if jobs[l].LLRI8 != nil {
+				s := c.getScratch()
+				tmp[l] = s
+				jobs[l].LLR = s.dequantLLRI8(jobs[l].LLRI8, jobs[l].LLRI8Step)
+			}
+		}
+		c.decodeSoA(b.results[start:start+n], jobs)
+		for l, s := range &tmp {
+			if s != nil {
+				jobs[l].LLR = nil
+				c.putScratch(s)
+			}
+		}
+		return
+	}
+	for i := start; i < start+n; i++ {
+		b.decode(i)
+	}
+}
 
 func (b *batchCtx) decode(i int) {
 	j := &b.jobs[i]
 	s := j.Code.getScratch()
-	res := j.Code.DecodeWithScratch(j.LLR, j.MaxIters, s)
+	llr := j.LLR
+	if j.LLRI8 != nil {
+		llr = s.dequantLLRI8(j.LLRI8, j.LLRI8Step)
+	}
+	res := j.Code.DecodeWithScratch(llr, j.MaxIters, s)
 	if cap(j.Info) >= j.Code.K {
 		j.Info = j.Info[:j.Code.K]
 		copy(j.Info, res.Info)
@@ -67,13 +116,39 @@ func (b *batchCtx) decode(i int) {
 // slice (len must equal len(jobs)). Paired with per-job Info buffers it
 // decodes a slot's blocks with zero allocations at steady state: scratch
 // is pooled, results land in results[i], and info bits land in jobs[i].Info.
+//
+// Runs of SoALanes consecutive jobs sharing one (Code, MaxIters) are
+// decoded in lockstep by the SoA lane-group kernel (soa.go); leftovers and
+// heterogeneous jobs take the single-block kernel. Both paths are
+// bit-exact with the reference decoder, so results are independent of the
+// grouping — and therefore of batch boundaries, worker count, and pooling.
 func DecodeBatchInto(results []DecodeResult, jobs []DecodeJob) {
 	if len(results) != len(jobs) {
 		panic("fec: DecodeBatchInto results/jobs length mismatch")
 	}
 	b := batchCtxPool.Get().(*batchCtx)
 	b.results, b.jobs = results, jobs
-	par.ForEach(len(jobs), b.fn)
+	units := b.units[:0]
+	for i := 0; i < len(jobs); {
+		n := 1
+		if i+SoALanes <= len(jobs) {
+			c, it := jobs[i].Code, jobs[i].MaxIters
+			same := true
+			for k := 1; k < SoALanes; k++ {
+				if jobs[i+k].Code != c || jobs[i+k].MaxIters != it {
+					same = false
+					break
+				}
+			}
+			if same {
+				n = SoALanes
+			}
+		}
+		units = append(units, [2]int32{int32(i), int32(n)})
+		i += n
+	}
+	b.units = units
+	par.ForEach(len(units), b.unitFn)
 	b.results, b.jobs = nil, nil
 	batchCtxPool.Put(b)
 }

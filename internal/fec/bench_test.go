@@ -33,9 +33,42 @@ func benchCodeAndLLR() (*Code, []float64) {
 }
 
 // BenchmarkFECDecode tracks the min-sum decode kernel as the PHY hot path
-// runs it: pooled scratch, zero allocations per block. (The seed decoder
-// cost one Info copy per call; see BENCH_2026-08-06_baseline.json.)
+// runs it since the SoA rework: DecodeBatchInto advancing a lane group of
+// SoALanes same-code blocks in lockstep, pooled scratch, zero allocations,
+// one op = one block. Every lane decodes the same LLR vector the scalar
+// baseline decoded (BENCH_2026-08-06_baseline.json), so the ns/op delta
+// against the baseline is the per-block kernel speedup, workload held
+// fixed. BenchmarkFECDecodeSingle tracks the scalar path the batch falls
+// back to for leftover jobs.
 func BenchmarkFECDecode(b *testing.B) {
+	c, llr := benchCodeAndLLR()
+	jobs := make([]DecodeJob, SoALanes)
+	for i := range jobs {
+		jobs[i] = DecodeJob{Code: c, LLR: llr, MaxIters: 8,
+			Info: make([]byte, 0, c.K)}
+	}
+	results := make([]DecodeResult, SoALanes)
+	DecodeBatchInto(results, jobs) // warm worker + scratch pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	calls := 0
+	for i := 0; i < b.N; i += SoALanes {
+		DecodeBatchInto(results, jobs)
+		calls++
+	}
+	b.StopTimer()
+	// One op is one block. With b.N below SoALanes (-benchtime=1x) the
+	// framework's elapsed/b.N would charge a whole lane-group call to a
+	// single op; report the true per-block time instead.
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(calls*SoALanes), "ns/op")
+	if !results[0].OK {
+		b.Fatal("benchmark LLRs never decoded; noise model broken")
+	}
+}
+
+// BenchmarkFECDecodeSingle is the scalar single-block kernel under the same
+// workload (the shape the batch uses for leftover and heterogeneous jobs).
+func BenchmarkFECDecodeSingle(b *testing.B) {
 	c, llr := benchCodeAndLLR()
 	s := c.NewScratch()
 	b.ReportAllocs()

@@ -303,8 +303,11 @@ func BenchmarkDecode8Iters(b *testing.B) {
 	rng := sim.NewRNG(1)
 	info := randomBits(rng, 512)
 	llr := bitsToLLR(c.Encode(info), 0.8, rng)
+	s := c.NewScratch()
+	c.DecodeWithScratch(llr, 8, s) // size scratch buffers before timing
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.Decode(llr, 8)
+		c.DecodeWithScratch(llr, 8, s)
 	}
 }

@@ -21,12 +21,32 @@ type Code struct {
 	// rows[i] holds the info-bit column indices checked by parity row i.
 	rows [][]int
 	// rowVars[i] holds all variable indices of parity row i, including the
-	// accumulator parity columns. Built once for the decoder.
+	// accumulator parity columns. Retained for the reference decoder (see
+	// reference.go); the production kernel walks the CSR arrays below.
 	rowVars [][]int
 	// varRows[v] holds, for each variable (coded bit) v, the parity rows
 	// that reference it.
 	varRows [][]int
 	edges   int
+
+	// CSR edge layout of the Tanner graph, row-major: edge e of row i sits
+	// at edgeVar[rowStart[i]:rowStart[i+1]] and names the variable column it
+	// touches. One flat int32 array replaces the per-row []int pointer
+	// chase, so the min-sum inner loops stream contiguous memory and the
+	// same index pass can serve a whole SoA lane group (soa.go).
+	edgeVar  []int32
+	rowStart []int32
+	// Variable-major mirror: varEdge[varStart[v]:varStart[v+1]] lists the
+	// edge ids touching variable v in row order (the reference decoder's
+	// accumulation order, so posteriors sum bit-identically), and
+	// varEdgeRow holds each entry's parity row for the fused parity
+	// scatter.
+	varStart   []int32
+	varEdge    []int32
+	varEdgeRow []int32
+	// encTaps flattens rows for the encoder: InfoWeight info columns per
+	// parity row, contiguous, so EncodeInto streams one int32 array.
+	encTaps []int32
 
 	// scratch pools per-decode working state. Decoder scratch used to live
 	// directly on Code (c2v/posterior/hard fields), which silently aliased
@@ -37,35 +57,37 @@ type Code struct {
 	// DecodeScratch makes the shared, immutable Tanner graph safe to decode
 	// concurrently; see TestDecodeSharedCodeConcurrently.
 	scratch sync.Pool
+	// soaPool pools lane-major scratch for the SoA batch decoder (soa.go).
+	soaPool sync.Pool
 }
 
 // DecodeScratch is the per-call working state of the min-sum decoder:
-// check-to-variable messages, posteriors and hard decisions. One scratch
-// serves one in-flight Decode; obtain it from Code.NewScratch (or let
-// Decode/DecodeBatch pool them) and never share it across goroutines.
+// check-to-variable messages (flat, CSR edge-indexed), posteriors and hard
+// decisions. One scratch serves one in-flight Decode; obtain it from
+// Code.NewScratch (or let Decode/DecodeBatch pool them) and never share it
+// across goroutines.
 type DecodeScratch struct {
-	c2v       [][]float64 // per-row messages, one backing array (c2vFlat)
-	c2vFlat   []float64
-	posterior []float64
-	hard      []byte
-	info      []byte // result staging for DecodeWithScratch
+	c2v    []float64 // per-edge messages, indexed like Code.edgeVar
+	mbuf   []uint64  // per-edge v2c message bits, staged between passes
+	post   []float64 // per-variable posteriors, kept for v2c staging
+	rowSum []uint64  // 3 summary words per row for the first-iteration path
+	rowAcc []byte    // per-row parity accumulator
+	hard   []byte
+	info   []byte    // result staging for DecodeWithScratch
+	llrTmp []float64 // dequantized-LLR staging for DecodeI8WithScratch
 }
 
 // NewScratch allocates decoder scratch sized for the code.
 func (c *Code) NewScratch() *DecodeScratch {
-	s := &DecodeScratch{
-		c2v:       make([][]float64, c.M),
-		c2vFlat:   make([]float64, c.edges),
-		posterior: make([]float64, c.N),
-		hard:      make([]byte, c.N),
-		info:      make([]byte, c.K),
+	return &DecodeScratch{
+		c2v:    make([]float64, c.edges),
+		mbuf:   make([]uint64, c.edges),
+		post:   make([]float64, c.N),
+		rowSum: make([]uint64, 3*c.M),
+		rowAcc: make([]byte, c.M),
+		hard:   make([]byte, c.N),
+		info:   make([]byte, c.K),
 	}
-	off := 0
-	for i, rv := range c.rowVars {
-		s.c2v[i] = s.c2vFlat[off : off+len(rv)]
-		off += len(rv)
-	}
-	return s
 }
 
 // getScratch fetches pooled scratch (allocating on first use).
@@ -131,6 +153,13 @@ func NewCode(k, n int, seed uint64) *Code {
 		c.rows[i] = row
 	}
 
+	c.encTaps = make([]int32, 0, m*InfoWeight)
+	for _, row := range c.rows {
+		for _, v := range row {
+			c.encTaps = append(c.encTaps, int32(v))
+		}
+	}
+
 	// Build variable -> rows adjacency including parity columns.
 	c.varRows = make([][]int, n)
 	for i, row := range c.rows {
@@ -159,6 +188,38 @@ func NewCode(k, n int, seed uint64) *Code {
 		}
 		c.rowVars[i] = rv
 	}
+
+	// CSR mirror of rowVars for the flat decode kernels.
+	c.rowStart = make([]int32, m+1)
+	c.edgeVar = make([]int32, 0, c.edges)
+	for i, rv := range c.rowVars {
+		c.rowStart[i] = int32(len(c.edgeVar))
+		for _, v := range rv {
+			c.edgeVar = append(c.edgeVar, int32(v))
+		}
+	}
+	c.rowStart[m] = int32(len(c.edgeVar))
+
+	// Variable-major mirror, filled in row order per variable so the
+	// kernels' posterior sums run in the reference accumulation order.
+	c.varStart = make([]int32, n+1)
+	for _, v := range c.edgeVar {
+		c.varStart[v+1]++
+	}
+	for v := 0; v < n; v++ {
+		c.varStart[v+1] += c.varStart[v]
+	}
+	c.varEdge = make([]int32, c.edges)
+	c.varEdgeRow = make([]int32, c.edges)
+	cursor := append([]int32(nil), c.varStart[:n]...)
+	for i := 0; i < m; i++ {
+		for e := c.rowStart[i]; e < c.rowStart[i+1]; e++ {
+			v := c.edgeVar[e]
+			c.varEdge[cursor[v]] = e
+			c.varEdgeRow[cursor[v]] = int32(i)
+			cursor[v]++
+		}
+	}
 	return c
 }
 
@@ -184,13 +245,18 @@ func (c *Code) EncodeInto(out, info []byte) {
 	}
 	copy(out, info)
 	var acc byte
-	for i, row := range c.rows {
-		var s byte
-		for _, v := range row {
-			s ^= info[v]
+	par := out[c.K:]
+	taps := c.encTaps
+	for i := range par {
+		if InfoWeight == 3 {
+			t := taps[i*3 : i*3+3 : i*3+3]
+			acc ^= info[t[0]] ^ info[t[1]] ^ info[t[2]]
+		} else {
+			for _, v := range taps[i*InfoWeight : (i+1)*InfoWeight] {
+				acc ^= info[v]
+			}
 		}
-		acc ^= s
-		out[c.K+i] = acc
+		par[i] = acc
 	}
 }
 
@@ -220,9 +286,52 @@ func (c *Code) Decode(llr []float64, maxIters int) DecodeResult {
 	return res
 }
 
+// Min-sum constants shared by the flat kernels (ira.go, soa.go).
+const (
+	msAlpha  = 0.8                        // normalization factor for min-sum
+	signMask = 1 << 63                    // IEEE-754 double sign bit
+	infBits  = uint64(0x7FF0000000000000) // math.Float64bits(+Inf)
+)
+
+// post1 is one iteration-1 posterior contribution from one row's summary
+// {min1 raw, alpha*min1|sign, alpha*min2|sign}: the self-excluded minimum —
+// the argmin edge sees min2; ties are safe because duplicated minima force
+// min2 == min1 — with the row sign and the variable's own sign applied.
+func post1(rs *[3]uint64, ab, ms uint64) float64 {
+	pk := rs[1]
+	if ab == rs[0] {
+		pk = rs[2]
+	}
+	return math.Float64frombits(pk ^ ms)
+}
+
 // DecodeWithScratch is Decode with caller-owned scratch. The returned
 // Info aliases s.info: it is valid until the next decode with (or pooled
 // reuse of) the same scratch — copy it out before releasing s.
+//
+// The kernel is the flat, branch-free restatement of the textbook min-sum
+// loop retained in reference.go, bit-exact with it for finite LLR inputs
+// (TestDecodeMatchesReference). Three structural changes carry the speedup:
+//
+//   - Messages live in the bit domain: sign products XOR sign bits and the
+//     min1/min2 magnitudes use uint64 min/max (the IEEE ordering of
+//     non-negative doubles is their integer ordering), which compile to
+//     CMOVs — the reference's `m < 0` branch, unpredictable by construction
+//     (the signs are the message entropy), disappears.
+//
+//   - Iteration 1 is specialized: with all-zero c2v the v2c messages are
+//     the channel LLRs, so every outgoing message of a check row is fully
+//     described by three summary words (raw min |llr| bits, and the two
+//     alpha-scaled magnitudes with the row's sign product packed into their
+//     otherwise-zero sign bit). The posterior pass reads c2v straight from
+//     those summaries, and on the common path — high-SNR blocks that
+//     converge immediately — no per-edge message is ever materialized.
+//
+//   - Later iterations run a flat two-phase schedule over the CSR arrays
+//     (check pass over staged v2c bits, then a variable-major posterior/
+//     hard-decision pass), and stage the next iteration's v2c only after
+//     the parity check fails, so the final iteration never pays for
+//     messages it will not use.
 func (c *Code) DecodeWithScratch(llr []float64, maxIters int, s *DecodeScratch) DecodeResult {
 	if len(llr) != c.N {
 		panic(fmt.Sprintf("fec: Decode got %d LLRs, code N=%d", len(llr), c.N))
@@ -230,84 +339,208 @@ func (c *Code) DecodeWithScratch(llr []float64, maxIters int, s *DecodeScratch) 
 	if maxIters < 1 {
 		maxIters = 1
 	}
-	const alpha = 0.8 // normalization factor for min-sum
+	edgeVar, rowStart := c.edgeVar, c.rowStart
+	varStart, varEdge, varEdgeRow := c.varStart, c.varEdge, c.varEdgeRow
+	c2v, mbuf, hard := s.c2v, s.mbuf, s.hard
+	post, rowSum := s.post, s.rowSum
 
-	rowVars := c.rowVars
-	c2v := s.c2v
-	for i := range s.c2vFlat {
-		s.c2vFlat[i] = 0
+	result := DecodeResult{Iterations: 1}
+
+	// Iteration 1, check pass: row summaries only. The explicit +0 matches
+	// the reference's first accumulation pass exactly (it maps any -0.0
+	// LLR to +0.0, as x + 0.0 does). Five-tap rows — all of them but the
+	// first (NewCode) — run the straight-line soaRow5 body: the gathers
+	// issue together and the loop control disappears.
+	for i := 0; i < c.M; i++ {
+		start, end := int(rowStart[i]), int(rowStart[i+1])
+		var signAcc uint64
+		min1, min2 := infBits, infBits
+		if end-start == 5 {
+			ev := edgeVar[start : start+5 : start+5]
+			signAcc, min1, min2 = soaRow5(
+				math.Float64bits(llr[ev[0]]+0),
+				math.Float64bits(llr[ev[1]]+0),
+				math.Float64bits(llr[ev[2]]+0),
+				math.Float64bits(llr[ev[3]]+0),
+				math.Float64bits(llr[ev[4]]+0))
+		} else {
+			for e := start; e < end; e++ {
+				m := math.Float64bits(llr[edgeVar[e]] + 0)
+				signAcc ^= m
+				ab := m &^ signMask
+				// Two-smallest tracking without branches; keeps the
+				// invariant min1 <= min2.
+				m2 := min(min2, max(min1, ab))
+				min1 = min(min1, ab)
+				min2 = m2
+			}
+		}
+		signAcc &= signMask
+		// alpha*mag hoisted out of the edge loop (the reference multiplies
+		// per edge, but the product is identical). Packing the row sign
+		// into the magnitude's sign bit lets the posterior pass recover a
+		// full c2v message with one XOR: mag | ((sign ^ m) & signMask).
+		rowSum[3*i] = min1
+		rowSum[3*i+1] = math.Float64bits(msAlpha*math.Float64frombits(min1)) | signAcc
+		rowSum[3*i+2] = math.Float64bits(msAlpha*math.Float64frombits(min2)) | signAcc
 	}
-	posterior := s.posterior
-	hard := s.hard
+	// Iteration 1, variable pass: posterior (summed in the reference's row
+	// order per variable, which is varEdgeRow's order) and hard decision
+	// (the strict `< 0` of the reference: -0.0 posteriors decide 0, which
+	// is why the branch-free form takes the sign bit of p+0). Degree-3 and
+	// degree-2 bodies cover nearly every variable (info bits carry
+	// ≈InfoWeight rows, parity bits two).
+	for v := 0; v < c.N; v++ {
+		ks, ke := int(varStart[v]), int(varStart[v+1])
+		m := math.Float64bits(llr[v] + 0)
+		ms := m & signMask
+		ab := m &^ signMask
+		p := llr[v]
+		switch vr := varEdgeRow[ks:ke]; len(vr) {
+		case 3:
+			rs0 := (*[3]uint64)(rowSum[3*int(vr[0]):])
+			rs1 := (*[3]uint64)(rowSum[3*int(vr[1]):])
+			rs2 := (*[3]uint64)(rowSum[3*int(vr[2]):])
+			p += post1(rs0, ab, ms)
+			p += post1(rs1, ab, ms)
+			p += post1(rs2, ab, ms)
+		case 2:
+			rs0 := (*[3]uint64)(rowSum[3*int(vr[0]):])
+			rs1 := (*[3]uint64)(rowSum[3*int(vr[1]):])
+			p += post1(rs0, ab, ms)
+			p += post1(rs1, ab, ms)
+		default:
+			for _, ri := range vr {
+				p += post1((*[3]uint64)(rowSum[3*int(ri):]), ab, ms)
+			}
+		}
+		post[v] = p
+		hard[v] = byte(math.Float64bits(p+0) >> 63)
+	}
+	if c.parityOKFlat(hard) {
+		result.OK = true
+		copy(s.info, hard[:c.K])
+		result.Info = s.info
+		return result
+	}
+	if maxIters > 1 {
+		// Materialize iteration 1's c2v (from the row summaries, exactly
+		// the values the posterior pass consumed) and stage iteration 2's
+		// v2c bits: v2c = posterior - own c2v.
+		for v := 0; v < c.N; v++ {
+			ks, ke := int(varStart[v]), int(varStart[v+1])
+			m := math.Float64bits(llr[v] + 0)
+			ms := m & signMask
+			ab := m &^ signMask
+			p := post[v]
+			for k := ks; k < ke; k++ {
+				r := 3 * int(varEdgeRow[k])
+				pk := rowSum[r+1]
+				if ab == rowSum[r] {
+					pk = rowSum[r+2]
+				}
+				cv := math.Float64frombits(pk ^ ms)
+				e := varEdge[k]
+				c2v[e] = cv
+				mbuf[e] = math.Float64bits(p - cv)
+			}
+		}
+	}
 
-	result := DecodeResult{}
-	for iter := 1; iter <= maxIters; iter++ {
+	for iter := 2; iter <= maxIters; iter++ {
 		result.Iterations = iter
-		// Variable-to-check messages are computed on the fly:
-		// v2c(v->i) = llr[v] + sum of c2v from other rows of v.
-		// First accumulate posteriors.
-		copy(posterior, llr)
-		for i, rv := range rowVars {
-			for j, v := range rv {
-				posterior[v] += c2v[i][j]
+		// Check-node update (normalized min-sum) from the staged v2c bits:
+		// scans and writes contiguous memory with no index gathers at all.
+		for i := 0; i < c.M; i++ {
+			start, end := int(rowStart[i]), int(rowStart[i+1])
+			var signAcc uint64
+			min1, min2 := infBits, infBits
+			for e := start; e < end; e++ {
+				m := mbuf[e]
+				signAcc ^= m
+				ab := m &^ signMask
+				m2 := min(min2, max(min1, ab))
+				min1 = min(min1, ab)
+				min2 = m2
+			}
+			signAcc &= signMask
+			mag1 := math.Float64bits(msAlpha * math.Float64frombits(min1))
+			mag2 := math.Float64bits(msAlpha * math.Float64frombits(min2))
+			for e := start; e < end; e++ {
+				m := mbuf[e]
+				ab := m &^ signMask
+				mag := mag1
+				if ab == min1 {
+					mag = mag2
+				}
+				c2v[e] = math.Float64frombits(mag | (m^signAcc)&signMask)
 			}
 		}
-		// Check node update (min-sum with normalization).
-		for i, rv := range rowVars {
-			// Extrinsic v2c = posterior - own c2v.
-			sign := 1.0
-			min1, min2 := math.Inf(1), math.Inf(1)
-			minIdx := -1
-			for j, v := range rv {
-				m := posterior[v] - c2v[i][j]
-				if m < 0 {
-					sign = -sign
-					m = -m
-				}
-				if m < min1 {
-					min2 = min1
-					min1 = m
-					minIdx = j
-				} else if m < min2 {
-					min2 = m
+		// Posterior and hard decision (branch-free; see iteration 1).
+		for v := 0; v < c.N; v++ {
+			ks, ke := int(varStart[v]), int(varStart[v+1])
+			p := llr[v]
+			switch ve := varEdge[ks:ke]; len(ve) {
+			case 3:
+				p += c2v[ve[0]]
+				p += c2v[ve[1]]
+				p += c2v[ve[2]]
+			case 2:
+				p += c2v[ve[0]]
+				p += c2v[ve[1]]
+			default:
+				for _, e := range ve {
+					p += c2v[e]
 				}
 			}
-			for j, v := range rv {
-				m := posterior[v] - c2v[i][j]
-				s := sign
-				if m < 0 {
-					s = -s
-					m = -m
-				}
-				mag := min1
-				if j == minIdx {
-					mag = min2
-				}
-				c2v[i][j] = alpha * s * mag
-			}
+			post[v] = p
+			hard[v] = byte(math.Float64bits(p+0) >> 63)
 		}
-		// Posterior and hard decision with updated messages.
-		copy(posterior, llr)
-		for i, rv := range rowVars {
-			for j, v := range rv {
-				posterior[v] += c2v[i][j]
-			}
-		}
-		for v := range hard {
-			if posterior[v] < 0 {
-				hard[v] = 1
-			} else {
-				hard[v] = 0
-			}
-		}
-		if c.checkParity(hard) {
+		if c.parityOKFlat(hard) {
 			result.OK = true
 			break
+		}
+		if iter == maxIters {
+			break
+		}
+		// Stage the next iteration's v2c bits (only on parity failure —
+		// the final iteration never pays for this pass).
+		for v := 0; v < c.N; v++ {
+			ks, ke := int(varStart[v]), int(varStart[v+1])
+			p := post[v]
+			for k := ks; k < ke; k++ {
+				e := varEdge[k]
+				mbuf[e] = math.Float64bits(p - c2v[e])
+			}
 		}
 	}
 	copy(s.info, hard[:c.K])
 	result.Info = s.info
 	return result
+}
+
+// parityOKFlat is checkParity over the CSR layout: per-row XOR of hard
+// bits with an early exit on the first violated check.
+func (c *Code) parityOKFlat(hard []byte) bool {
+	edgeVar, rowStart := c.edgeVar, c.rowStart
+	for i := 0; i < c.M; i++ {
+		start, end := int(rowStart[i]), int(rowStart[i+1])
+		var x byte
+		if end-start == 5 {
+			// Five-tap fast path matching the unrolled check pass.
+			ev := edgeVar[start : start+5 : start+5]
+			x = hard[ev[0]] ^ hard[ev[1]] ^ hard[ev[2]] ^
+				hard[ev[3]] ^ hard[ev[4]]
+		} else {
+			for e := start; e < end; e++ {
+				x ^= hard[edgeVar[e]]
+			}
+		}
+		if x != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // checkParity reports whether all M parity checks are satisfied by the

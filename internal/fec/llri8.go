@@ -1,0 +1,66 @@
+package fec
+
+import "math"
+
+// The int8 quantized-LLR lane (opt-in via SLINGSHOT_LLR=i8 in internal/phy)
+// carries a block's soft values from demodulation to FEC decode as one byte
+// per bit instead of eight, halving-and-then-some the LLR traffic a slot
+// drags through the cache hierarchy. The decoder itself stays float: each
+// decode dequantizes into pooled scratch (DecodeScratch.llrTmp) and runs the
+// unchanged min-sum kernels, so an i8 decode is bit-identical to a float
+// decode of the dequantized values — dequantization is pointwise, which
+// keeps results independent of batch grouping, worker count and pooling.
+// The only accuracy cost is the quantization itself, bounded by
+// TestLLRLaneBLERDelta in internal/phy.
+
+// LLRI8Step is the lane's default dequantization step: one LSB is 0.25 LLR,
+// spanning ±31.75 — comfortably past the magnitudes where min-sum decisions
+// saturate at the SNRs the simulator sweeps, while keeping sub-LSB noise an
+// order of magnitude below the channel noise at the BLER waterfall.
+const LLRI8Step = 0.25
+
+// AppendQuantizeLLRI8 appends round-to-nearest quantizations of llr at the
+// given step (0 means LLRI8Step), clamped to ±127 so dequantization is
+// symmetric. The appended values dequantize as float64(q)*step.
+func AppendQuantizeLLRI8(dst []int8, llr []float64, step float64) []int8 {
+	if step <= 0 {
+		step = LLRI8Step
+	}
+	inv := 1 / step
+	for _, v := range llr {
+		q := math.Round(v * inv)
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		dst = append(dst, int8(q))
+	}
+	return dst
+}
+
+// dequantLLRI8 expands quantized LLRs into s.llrTmp and returns the float
+// slice the min-sum kernels consume. With the default power-of-two step the
+// expansion is exact; any step still rounds once per value, identically
+// wherever it runs.
+func (s *DecodeScratch) dequantLLRI8(llri8 []int8, step float64) []float64 {
+	if step <= 0 {
+		step = LLRI8Step
+	}
+	if cap(s.llrTmp) < len(llri8) {
+		s.llrTmp = make([]float64, len(llri8))
+	}
+	tmp := s.llrTmp[:len(llri8)]
+	for i, q := range llri8 {
+		tmp[i] = float64(q) * step
+	}
+	return tmp
+}
+
+// DecodeI8WithScratch is DecodeWithScratch for the int8 LLR lane: it
+// dequantizes llri8 by step (0 means LLRI8Step) into the scratch's staging
+// buffer and decodes the result. Bit-identical to calling DecodeWithScratch
+// on the dequantized floats.
+func (c *Code) DecodeI8WithScratch(llri8 []int8, step float64, maxIters int, s *DecodeScratch) DecodeResult {
+	return c.DecodeWithScratch(s.dequantLLRI8(llri8, step), maxIters, s)
+}

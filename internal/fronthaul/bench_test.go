@@ -11,18 +11,72 @@ import (
 // allocations per packet. (The seed kernel allocated the encode and decode
 // buffers on every call; see BENCH_2026-08-06_baseline.json.) 288 samples
 // is a 24-PRB allocation, a typical sampled-block payload.
+// BenchmarkBFPCompress and BenchmarkBFPDecompress track the two kernel
+// halves separately so a regression in one is not masked by the other.
+func BenchmarkBFPCompress(b *testing.B) {
+	rng := sim.NewRNG(3)
+	iq := make([]complex128, 288)
+	for i := range iq {
+		iq[i] = complex(rng.Norm(), rng.Norm())
+	}
+	enc, err := AppendCompressBFP(nil, iq, 9) // size the buffer before timing
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err = AppendCompressBFP(enc[:0], iq, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBFPDecompress(b *testing.B) {
+	rng := sim.NewRNG(3)
+	iq := make([]complex128, 288)
+	for i := range iq {
+		iq[i] = complex(rng.Norm(), rng.Norm())
+	}
+	enc, err := CompressBFP(iq, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := AppendDecompressBFP(nil, enc, 9) // size buffer, build tables
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec, err = AppendDecompressBFP(dec[:0], enc, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = dec
+}
+
 func BenchmarkBFPRoundTrip(b *testing.B) {
 	rng := sim.NewRNG(3)
 	iq := make([]complex128, 288)
 	for i := range iq {
 		iq[i] = complex(rng.Norm(), rng.Norm())
 	}
-	var enc []byte
-	var dec []complex128
+	// One untimed round trip sizes both buffers and builds the dequant
+	// tables: the timed loop is the steady state, zero allocations.
+	enc, err := AppendCompressBFP(nil, iq, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := AppendDecompressBFP(nil, enc, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		var err error
 		enc, err = AppendCompressBFP(enc[:0], iq, 9)
 		if err != nil {
 			b.Fatal(err)

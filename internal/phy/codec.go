@@ -168,13 +168,15 @@ type HARQCombiner interface {
 }
 
 // blockBuf holds the recycled per-block receive-chain buffers (pilots,
-// equalized data, LLRs, CRC staging). Pooled package-wide: any codec can
-// reuse any buffer, and buffers checked out by in-flight PreparedBlocks
-// are returned on FinishPrepared/Release.
+// equalized data, LLRs, decoded info bits, CRC staging). Pooled
+// package-wide: any codec can reuse any buffer, and buffers checked out by
+// in-flight PreparedBlocks are returned on FinishPrepared/Release.
 type blockBuf struct {
 	pilots []complex128
 	iq     []complex128
 	llr    []float64
+	llri8  []int8 // quantized lane staging (SLINGSHOT_LLR=i8 only)
+	info   []byte
 	crc    []byte
 }
 
@@ -185,7 +187,11 @@ var blockBufPool = sync.Pool{New: func() any { return new(blockBuf) }}
 // can run later (and on a worker goroutine) without touching shared state.
 // The LLRs are detached copies — they do not alias HARQ soft buffers.
 type PreparedBlock struct {
-	LLR     []float64
+	LLR []float64
+	// LLRI8 holds the block's soft values quantized for the int8 LLR lane;
+	// non-nil only when the lane is enabled (llrlane.go), in which case the
+	// FEC decode consumes it instead of LLR.
+	LLRI8   []int8
 	SNRdB   float64
 	TxCount int
 	// Valid reports the receive chain produced enough LLRs to attempt FEC
@@ -203,6 +209,7 @@ func (pb *PreparedBlock) Release() {
 		blockBufPool.Put(pb.buf)
 		pb.buf = nil
 		pb.LLR = nil
+		pb.LLRI8 = nil
 	}
 }
 
@@ -245,26 +252,41 @@ func (c *Codec) PrepareBlock(rx []complex128, slot uint64, ue uint16, m dsp.Modu
 		pb.TxCount = pool.TxCount(ue, proc)
 	}
 	pb.LLR = llr
+	if LLRLaneI8() {
+		buf.llri8 = fec.AppendQuantizeLLRI8(buf.llri8[:0], llr, fec.LLRI8Step)
+		pb.LLRI8 = buf.llri8
+	}
 	pb.Valid = true
 	return pb
 }
 
-// DecodePrepared runs the compute half — min-sum FEC decode plus the
-// sampled block's CRC-16 — with pooled decoder scratch. It is pure: no
-// HARQ, RNG or codec state is touched, so a slot's prepared blocks can be
-// decoded concurrently on the internal/par pool while virtual time stays
-// frozen. Follow with FinishPrepared on the event-loop goroutine.
-func (c *Codec) DecodePrepared(pb *PreparedBlock, iters int) DecodeOutcome {
-	out := DecodeOutcome{TxCount: pb.TxCount, SNRdB: pb.SNRdB}
-	if !pb.Valid {
-		return out
+// FECJob returns the block's FEC decode work as a fec.DecodeJob for
+// fec.DecodeBatchInto. The job's Info buffer is the block's recycled info
+// staging, so a slot's batch decodes with zero allocations, and runs of
+// same-code jobs (the common case: one cell's slot) are advanced in
+// lockstep by the SoA lane-group kernel. Only call for Valid blocks; pair
+// each result with FinishFECJob.
+func (c *Codec) FECJob(pb *PreparedBlock, iters int) fec.DecodeJob {
+	if cap(pb.buf.info) < c.Code.K {
+		pb.buf.info = make([]byte, c.Code.K)
 	}
-	s := c.Code.GetScratch()
-	res := c.Code.DecodeWithScratch(pb.LLR, iters, s)
+	job := fec.DecodeJob{Code: c.Code, MaxIters: iters, Info: pb.buf.info[:0]}
+	if pb.LLRI8 != nil {
+		job.LLRI8, job.LLRI8Step = pb.LLRI8, fec.LLRI8Step
+	} else {
+		job.LLR = pb.LLR
+	}
+	return job
+}
+
+// FinishFECJob converts a batch decode result for FECJob back into the
+// block's outcome: decoder work accounting plus the sampled block's CRC-16
+// — parity convergence alone can be a wrong codeword. Cheap (K bits); runs
+// on the event-loop goroutine during the slot's ordered merge.
+func (c *Codec) FinishFECJob(pb *PreparedBlock, res *fec.DecodeResult) DecodeOutcome {
+	out := DecodeOutcome{TxCount: pb.TxCount, SNRdB: pb.SNRdB}
 	out.WorkUnits = c.Code.Edges() * res.Iterations
 	if res.OK {
-		// Verify the sampled block's CRC-16 — parity convergence alone can
-		// be a wrong codeword.
 		k := c.Code.K
 		nBytes := k / 8
 		buf := pb.buf.crc
@@ -281,6 +303,28 @@ func (c *Codec) DecodePrepared(pb *PreparedBlock, iters int) DecodeOutcome {
 		}
 		_, out.OK = fec.CheckCRC16(buf)
 	}
+	return out
+}
+
+// DecodePrepared runs the compute half — min-sum FEC decode plus the
+// sampled block's CRC-16 — with pooled decoder scratch. It is pure: no
+// HARQ, RNG or codec state is touched, so prepared blocks can be decoded
+// concurrently while virtual time stays frozen. The PHY's slot drain
+// decodes whole batches through FECJob/fec.DecodeBatchInto/FinishFECJob
+// instead; this single-block form remains for the UE model and standalone
+// DecodeBlock. Follow with FinishPrepared on the event-loop goroutine.
+func (c *Codec) DecodePrepared(pb *PreparedBlock, iters int) DecodeOutcome {
+	if !pb.Valid {
+		return DecodeOutcome{TxCount: pb.TxCount, SNRdB: pb.SNRdB}
+	}
+	s := c.Code.GetScratch()
+	var res fec.DecodeResult
+	if pb.LLRI8 != nil {
+		res = c.Code.DecodeI8WithScratch(pb.LLRI8, fec.LLRI8Step, iters, s)
+	} else {
+		res = c.Code.DecodeWithScratch(pb.LLR, iters, s)
+	}
+	out := c.FinishFECJob(pb, &res)
 	c.Code.PutScratch(s)
 	return out
 }

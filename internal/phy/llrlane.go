@@ -1,0 +1,37 @@
+package phy
+
+import (
+	"os"
+	"sync"
+)
+
+// The int8 quantized-LLR lane is the opt-in half of the SoA kernel work
+// (DESIGN.md §13): when enabled, PrepareBlock quantizes the post-combine
+// LLRs to one byte each (fec.LLRI8Step) and the slot's FEC jobs carry int8
+// soft values, halving the LLR bytes the decode stage streams. Default off:
+// the float path stays byte-identical to the seed, and every report-
+// determinism test runs against it. Enable with SLINGSHOT_LLR=i8 or, in
+// tests, SetLLRLaneI8.
+
+var (
+	llrLaneMu sync.Mutex
+	llrLaneI8 = os.Getenv("SLINGSHOT_LLR") == "i8"
+)
+
+// LLRLaneI8 reports whether the int8 quantized-LLR lane is enabled.
+func LLRLaneI8() bool {
+	llrLaneMu.Lock()
+	defer llrLaneMu.Unlock()
+	return llrLaneI8
+}
+
+// SetLLRLaneI8 toggles the int8 LLR lane and returns the previous setting.
+// Intended for tests (lane determinism, BLER delta); safe to call between
+// slots, like par.SetWorkers.
+func SetLLRLaneI8(on bool) (prev bool) {
+	llrLaneMu.Lock()
+	defer llrLaneMu.Unlock()
+	prev = llrLaneI8
+	llrLaneI8 = on
+	return prev
+}

@@ -1,0 +1,125 @@
+package phy
+
+import (
+	"math"
+	"testing"
+
+	"slingshot/internal/dsp"
+	"slingshot/internal/fec"
+	"slingshot/internal/par"
+	"slingshot/internal/sim"
+)
+
+// TestLLRLaneBLERDelta bounds the decode-quality cost of the int8 LLR
+// lane. Each trial sends one block through a threshold-SNR channel and
+// decodes the identical received symbols twice — float lane and i8 lane —
+// so the two BLER estimates share every noise draw. The operating point is
+// chosen so the float path fails a meaningful fraction of blocks (the
+// waterfall region, where quantization damage would be most visible); the
+// lane must stay within a few percentage points of it.
+func TestLLRLaneBLERDelta(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BLER sweep is slow")
+	}
+	prevLane := SetLLRLaneI8(false)
+	defer SetLLRLaneI8(prevLane)
+
+	c := NewCodec(0, 0, 0, 42)
+	ch := dsp.NewChannel(12.5, 0, 0, sim.NewRNG(5))
+	rng := sim.NewRNG(7)
+	tb := make([]byte, 24)
+	const blocks = 400
+	failF, failI, disagree := 0, 0, 0
+	for i := 0; i < blocks; i++ {
+		for j := range tb {
+			tb[j] = byte(rng.Uint64())
+		}
+		slot := uint64(4 + 5*i) // uplink slots
+		iq := c.EncodeBlock(tb, slot, 7, dsp.QAM64)
+		rx := ch.Transmit(iq)
+		SetLLRLaneI8(false)
+		outF := c.DecodeBlock(rx, slot, 7, dsp.QAM64, nil, 0, true, 8)
+		SetLLRLaneI8(true)
+		outI := c.DecodeBlock(rx, slot, 7, dsp.QAM64, nil, 0, true, 8)
+		if !outF.OK {
+			failF++
+		}
+		if !outI.OK {
+			failI++
+		}
+		if outF.OK != outI.OK {
+			disagree++
+		}
+	}
+	blerF := float64(failF) / blocks
+	blerI := float64(failI) / blocks
+	t.Logf("float BLER %.3f, i8 BLER %.3f, %d/%d blocks disagree",
+		blerF, blerI, disagree, blocks)
+	if blerF < 0.05 || blerF > 0.95 {
+		t.Fatalf("operating point drifted out of the waterfall: float BLER %.3f", blerF)
+	}
+	if math.Abs(blerI-blerF) > 0.05 {
+		t.Fatalf("i8 lane BLER %.3f vs float %.3f: delta exceeds 0.05", blerI, blerF)
+	}
+}
+
+// TestLLRLaneWorkerDeterminism checks that with the i8 lane enabled, a
+// slot-shaped batch decode (PrepareBlock → FECJob → fec.DecodeBatchInto →
+// FinishFECJob, the PHY drain's exact staging) produces bit-identical
+// outcomes at different worker counts. The lane dequantizes point-wise into
+// per-job scratch before the float kernel runs, so the existing
+// grouping/worker/pooling invariance must carry over untouched.
+func TestLLRLaneWorkerDeterminism(t *testing.T) {
+	prevLane := SetLLRLaneI8(true)
+	defer SetLLRLaneI8(prevLane)
+
+	run := func() []DecodeOutcome {
+		c := NewCodec(0, 0, 0, 42)
+		// Waterfall SNR: mixed OK/failed blocks and varied iteration
+		// counts, so WorkUnits actually discriminates.
+		ch := dsp.NewChannel(12.5, 0, 0, sim.NewRNG(3))
+		rng := sim.NewRNG(9)
+		tb := make([]byte, 24)
+		const blocks = 16
+		pbs := make([]PreparedBlock, blocks)
+		jobs := make([]fec.DecodeJob, blocks)
+		for i := 0; i < blocks; i++ {
+			for j := range tb {
+				tb[j] = byte(rng.Uint64())
+			}
+			slot := uint64(4 + 5*i)
+			iq := c.EncodeBlock(tb, slot, uint16(i), dsp.QAM64)
+			rx := ch.Transmit(iq)
+			pbs[i] = c.PrepareBlock(rx, slot, uint16(i), dsp.QAM64, nil, 0, true)
+			if !pbs[i].Valid {
+				t.Fatalf("block %d failed prepare", i)
+			}
+			if pbs[i].LLRI8 == nil {
+				t.Fatalf("block %d: lane enabled but no quantized LLRs staged", i)
+			}
+			jobs[i] = c.FECJob(&pbs[i], 8)
+		}
+		results := make([]fec.DecodeResult, blocks)
+		fec.DecodeBatchInto(results, jobs)
+		outs := make([]DecodeOutcome, blocks)
+		for i := range outs {
+			outs[i] = c.FinishFECJob(&pbs[i], &results[i])
+			pbs[i].Release()
+		}
+		return outs
+	}
+
+	prev := par.SetWorkers(1)
+	defer par.SetWorkers(prev)
+	seq := run()
+	par.SetWorkers(4)
+	conc := run()
+	for i := range seq {
+		if seq[i].OK != conc[i].OK || seq[i].WorkUnits != conc[i].WorkUnits ||
+			math.Float64bits(seq[i].SNRdB) != math.Float64bits(conc[i].SNRdB) ||
+			seq[i].TxCount != conc[i].TxCount {
+			t.Fatalf("block %d: outcome differs across worker counts:\n1 worker: %+v\n4 workers: %+v",
+				i, seq[i], conc[i])
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"slingshot/internal/fapi"
+	"slingshot/internal/fec"
 	"slingshot/internal/fronthaul"
 	"slingshot/internal/harq"
 	"slingshot/internal/mem"
@@ -132,10 +133,15 @@ type PHY struct {
 	// only on the event-loop goroutine and PrepareBlock copies the samples
 	// it needs, so one buffer serves every reception.
 	iqBuf []complex128
-	// outcomes is the recycled drainUL decode-result scratch; drainUL is a
-	// single event and the par batch barriers inside it, so one buffer
-	// serves every slot.
-	outcomes []DecodeOutcome
+	// ulJobs/ulResults/ulJobOf are the recycled drainUL FEC-batch staging:
+	// the slot's valid blocks become one fec.DecodeBatchInto call (runs of
+	// same-code jobs decode in SoA lockstep), ulJobOf maps each pending
+	// block to its job index (-1 for blocks with nothing to decode).
+	// drainUL is a single event and the batch blocks until done, so one
+	// set of buffers serves every slot.
+	ulJobs    []fec.DecodeJob
+	ulResults []fec.DecodeResult
+	ulJobOf   []int32
 	// dlJobs / dlPayloads are transmitDL's recycled per-slot staging
 	// (cleared after each use so no TB bytes are pinned across slots).
 	dlJobs     []dlJob
@@ -810,22 +816,27 @@ func (p *PHY) drainUL(cellID uint16, slot uint64) {
 		return pending[i].harq < pending[j].harq
 	})
 
-	// Parallel part: pure compute only. DecodePrepared touches no HARQ,
-	// RNG, codec or engine state; results land by index in the recycled
-	// scratch (zeroed first — !hadIQ entries must read as zero outcomes).
-	if cap(p.outcomes) < len(pending) {
-		p.outcomes = make([]DecodeOutcome, len(pending))
-	}
-	outcomes := p.outcomes[:len(pending)]
-	for i := range outcomes {
-		outcomes[i] = DecodeOutcome{}
-	}
+	// Parallel part: pure compute only. The slot's valid blocks are staged
+	// as one FEC batch — consecutive jobs share the cell's code, so
+	// DecodeBatchInto advances them four at a time through the SoA
+	// lane-group kernel and spreads the lane groups across the worker
+	// pool. Results land by job index; the merge below maps them back.
 	iters := c.iters
-	par.ForEach(len(pending), func(i int) {
-		if pending[i].hadIQ {
-			outcomes[i] = c.codec.DecodePrepared(&pending[i].pb, iters)
+	jobs, jobOf := p.ulJobs[:0], p.ulJobOf[:0]
+	for i := range pending {
+		pd := &pending[i]
+		if pd.hadIQ && pd.pb.Valid {
+			jobs = append(jobs, c.codec.FECJob(&pd.pb, iters))
+			jobOf = append(jobOf, int32(len(jobs)-1))
+		} else {
+			jobOf = append(jobOf, -1)
 		}
-	})
+	}
+	if cap(p.ulResults) < len(jobs) {
+		p.ulResults = make([]fec.DecodeResult, len(jobs))
+	}
+	results := p.ulResults[:len(jobs)]
+	fec.DecodeBatchInto(results, jobs)
 
 	// Sequential merge, back on the event-loop goroutine. The outgoing
 	// RX_DATA/CRC messages are leased; ownership passes downstream with
@@ -835,7 +846,14 @@ func (p *PHY) drainUL(cellID uint16, slot uint64) {
 	crcInd := fapi.GetCRCIndication(cellID, slot)
 	for i := range pending {
 		pd := &pending[i]
-		out := outcomes[i]
+		var out DecodeOutcome
+		if pd.hadIQ {
+			if j := jobOf[i]; j >= 0 {
+				out = c.codec.FinishFECJob(&pd.pb, &results[j])
+			} else {
+				out = DecodeOutcome{TxCount: pd.pb.TxCount, SNRdB: pd.pb.SNRdB}
+			}
+		}
 		if pd.hadIQ && p.Trace != nil {
 			// Emitted here, in the deterministic (UE, HARQ)-ordered merge on
 			// the event-loop goroutine — never from the parallel decode above
@@ -897,6 +915,12 @@ func (p *PHY) drainUL(cellID uint16, slot uint64) {
 	} else {
 		fapi.ReleaseShallow(crcInd)
 	}
+	// Recycle the batch staging, dropping buffer references so released
+	// blockBufs are not pinned until the next drain.
+	for i := range jobs {
+		jobs[i] = fec.DecodeJob{}
+	}
+	p.ulJobs, p.ulJobOf = jobs[:0], jobOf[:0]
 	if pending != nil {
 		for i := range pending {
 			pending[i] = pendingUL{}

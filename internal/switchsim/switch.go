@@ -25,15 +25,20 @@ type migrationRequest struct {
 }
 
 type detectorState struct {
-	armed   bool
-	counter int
-	notify  netmodel.Addr
+	armed  bool
+	notify netmodel.Addr
+	// resetTick is the index of the last timer tick at or before the
+	// PHY's most recent downlink packet (the emulated counter reset);
+	// the counter value at tick k is k - resetTick.
+	resetTick int64
 	// seen gates counting until the PHY's first downlink packet: a
 	// liveness detector cannot time out a stream that never started.
 	seen bool
 	// fired latches until the PHY is re-armed, so a dead PHY produces one
 	// notification, not one per tick.
 	fired bool
+	// pending guards the detector's single in-flight deadline event.
+	pending bool
 }
 
 // MigrationRecord describes one executed fronthaul migration.
@@ -58,7 +63,6 @@ type Stats struct {
 	DroppedStalePHY    uint64 // DL packets from a non-active PHY (§5.1)
 	DroppedUnmappedRU  uint64
 	CommandsReceived   uint64
-	TimerTicks         uint64
 	FailuresDetected   uint64
 	MigrationsExecuted uint64
 }
@@ -83,10 +87,16 @@ type Switch struct {
 	ctrlPending int
 
 	// Detector configuration (§5.2.2): timeout T emulated by n timer
-	// packets per period.
+	// packets per period. The tick grid is virtual — ticksDone computes
+	// tick indices from the clock instead of firing 1/period events — so
+	// the packet generator costs one deadline event per timeout period
+	// per armed PHY, not TimerTicks scans of the id space.
 	Timeout    sim.Time
 	TimerTicks int
-	stopTimer  func()
+	tickOrigin sim.Time // time of tick 1; grid fixed at first arm
+	tickPeriod sim.Time
+	timerOn    bool
+	deadlineFn func(any) // bound onDetectorDeadline, allocated once
 
 	// History of executed migrations and detections for the experiments.
 	MigrationLog []MigrationRecord
@@ -133,6 +143,7 @@ func New(e *sim.Engine, rng *sim.RNG) *Switch {
 		ControlPlaneLatency: 10 * sim.Millisecond,
 		rng:                 rng,
 	}
+	s.deadlineFn = s.onDetectorDeadline
 	for i := range s.ruToPHY {
 		s.ruToPHY[i] = NoPHY
 	}
@@ -192,7 +203,10 @@ func (s *Switch) SetMappingViaControlPlane(ru, phy uint8, done func(sim.Time)) {
 // notifications to notify (the L2-side Orion). Also starts the timer
 // packet generator on first use.
 func (s *Switch) ArmDetector(phy uint8, notify netmodel.Addr) {
-	s.detectors[phy] = detectorState{armed: true, notify: notify}
+	// An already-scheduled deadline event survives re-arming; pending
+	// must carry over so the detector never has two events in flight.
+	pending := s.detectors[phy].pending
+	s.detectors[phy] = detectorState{armed: true, notify: notify, pending: pending}
 	s.startTimer()
 }
 
@@ -203,42 +217,77 @@ func (s *Switch) DisarmDetector(phy uint8) {
 }
 
 func (s *Switch) startTimer() {
-	if s.stopTimer != nil {
+	if s.timerOn {
 		return
 	}
 	period := s.Timeout / sim.Time(s.TimerTicks)
 	if period < 1 {
 		period = 1
 	}
-	s.stopTimer = s.Engine.Every(period, period, "switch.timer", s.onTimerPacket)
+	s.tickPeriod = period
+	s.tickOrigin = s.Engine.Now() + period // Every(period, period) grid
+	s.timerOn = true
 }
 
-// onTimerPacket is the packet-generator tick: increment every armed PHY's
-// counter; a counter reaching TimerTicks means no downlink packet arrived
-// for a full timeout period.
-func (s *Switch) onTimerPacket() {
-	s.Stats.TimerTicks++
-	for phy := range s.detectors {
-		d := &s.detectors[phy]
-		if !d.armed || !d.seen || d.fired {
-			continue
-		}
-		d.counter++
-		if d.counter >= s.TimerTicks {
-			d.fired = true
-			s.Stats.FailuresDetected++
-			s.DetectionLog = append(s.DetectionLog, s.Engine.Now())
-			s.sendTo(d.notify, &netmodel.Frame{
-				Src:  netmodel.ControllerAddr(),
-				Dst:  d.notify,
-				Type: netmodel.EtherTypeControl,
-				Payload: (&Command{
-					Type: CmdFailureNotify,
-					PHY:  uint8(phy),
-				}).Encode(),
-			})
-		}
+// ticksDone is the number of emulated timer-packet ticks whose grid time
+// is at or before t. Tick k fires at tickOrigin + (k-1)*period; a tick
+// coinciding exactly with a downlink packet counts as having fired before
+// the packet's counter reset.
+func (s *Switch) ticksDone(t sim.Time) int64 {
+	if !s.timerOn || t < s.tickOrigin {
+		return 0
 	}
+	return int64((t-s.tickOrigin)/s.tickPeriod) + 1
+}
+
+// detectionTime is the grid time of the tick that pushes the PHY's counter
+// to TimerTicks: the TimerTicks-th tick after its last reset.
+func (s *Switch) detectionTime(d *detectorState) sim.Time {
+	k := d.resetTick + int64(s.TimerTicks)
+	return s.tickOrigin + sim.Time(k-1)*s.tickPeriod
+}
+
+// armDeadline ensures a counting detector has one deadline event in
+// flight. Downlink packets only move resetTick — the pending event
+// re-projects the deadline when it fires, so the steady-state cost is one
+// event per timeout period per armed PHY instead of a tick every T/n.
+func (s *Switch) armDeadline(phy uint8) {
+	d := &s.detectors[phy]
+	if d.pending || !d.armed || !d.seen || d.fired || !s.timerOn {
+		return
+	}
+	d.pending = true
+	s.Engine.AtArgPooled(s.detectionTime(d), "switch.timer", s.deadlineFn, int(phy))
+}
+
+// onDetectorDeadline fires when a PHY's emulated counter would reach
+// TimerTicks had no downlink packet arrived since the event was scheduled.
+// If packets did arrive (resetTick advanced), it re-arms at the projected
+// deadline; otherwise this tick is the detection.
+func (s *Switch) onDetectorDeadline(arg any) {
+	phy := uint8(arg.(int))
+	d := &s.detectors[phy]
+	d.pending = false
+	if !d.armed || !d.seen || d.fired || !s.timerOn {
+		return
+	}
+	if at := s.detectionTime(d); s.Engine.Now() < at {
+		d.pending = true
+		s.Engine.AtArgPooled(at, "switch.timer", s.deadlineFn, int(phy))
+		return
+	}
+	d.fired = true
+	s.Stats.FailuresDetected++
+	s.DetectionLog = append(s.DetectionLog, s.Engine.Now())
+	s.sendTo(d.notify, &netmodel.Frame{
+		Src:  netmodel.ControllerAddr(),
+		Dst:  d.notify,
+		Type: netmodel.EtherTypeControl,
+		Payload: (&Command{
+			Type: CmdFailureNotify,
+			PHY:  phy,
+		}).Encode(),
+	})
 }
 
 // HandleFrame is the ingress pipeline.
@@ -315,12 +364,13 @@ func (s *Switch) handleDownlink(f *netmodel.Frame, slot fronthaul.SlotID) {
 	s.dlLastSeen[phy] = now
 	s.dlEverSeen[phy] = true
 	d := &s.detectors[phy]
-	d.counter = 0
+	d.resetTick = s.ticksDone(now)
 	d.seen = true
 	if d.fired {
 		// The PHY is sending again (restart/recovery); re-arm.
 		d.fired = false
 	}
+	s.armDeadline(phy)
 
 	ru, ok := s.ruIDByMAC[f.Dst]
 	if !ok {
@@ -401,12 +451,10 @@ func (s *Switch) sendTo(dst netmodel.Addr, f *netmodel.Frame) {
 // PendingMigration reports whether RU ru has an armed migration request.
 func (s *Switch) PendingMigration(ru uint8) bool { return s.migrations[ru].armed }
 
-// Stop halts the timer packet generator.
+// Stop halts the timer packet generator: in-flight deadline events become
+// no-ops and nothing further is scheduled.
 func (s *Switch) Stop() {
-	if s.stopTimer != nil {
-		s.stopTimer()
-		s.stopTimer = nil
-	}
+	s.timerOn = false
 }
 
 // DetectionPrecision returns the worst-case extra latency of the emulated

@@ -107,8 +107,14 @@ trap 'rm -f "$TXT"' EXIT
 # shellcheck disable=SC2086
 go test $ARGS ./... | tee "$TXT"
 
+# CPU model and GOAMD64 level pin down which microarchitecture the numbers
+# came from — kernel timings are not comparable across either.
+CPU="$(awk -F': ' '/^model name/ { print $2; exit }' /proc/cpuinfo 2>/dev/null || true)"
+
 awk -v date="$(date +%Y-%m-%d)" \
     -v goversion="$(go env GOVERSION)" \
+    -v goamd64="$(go env GOAMD64)" \
+    -v cpu="$CPU" \
     -v count="$COUNT" \
     -v benchtime="${BENCHTIME:-default}" \
     -v workers="${SLINGSHOT_WORKERS:-}" '
@@ -128,6 +134,8 @@ END {
     printf "{\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"goamd64\": \"%s\",\n", goamd64
+    printf "  \"cpu\": \"%s\",\n", cpu
     printf "  \"count\": %d,\n", count
     printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"slingshot_workers\": \"%s\",\n", workers

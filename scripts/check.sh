@@ -36,6 +36,32 @@ SLINGSHOT_WORKERS=4 go test -race ./internal/trace -run 'TestGoldenTrace' -count
 SLINGSHOT_WORKERS=4 go test -race ./internal/chaos -run 'TestFlightRecorder|TestCleanRunHasNoFlightDump' -count=1
 go test -race . -run 'TestReportsInvariantToWorkerCount/chaos-trace' -count=1
 
+echo "== kernel differential lane (-race, hot kernels vs retained references) =="
+# The SoA/closed-form/branch-free kernels are each pinned bit-exactly to a
+# straightforward reference implementation kept in-tree. Run the
+# differential suites under the race detector with the worker pool live —
+# any float reordering, tie-break change, or lane-staging race shows here
+# before it can skew a report.
+SLINGSHOT_WORKERS=4 go test -race ./internal/fec -count=1 \
+    -run 'TestDecodeMatchesReference|TestDecodeBatchMatchesReference|TestDecodeI8|TestQuantizeLLRI8'
+SLINGSHOT_WORKERS=4 go test -race ./internal/dsp -count=1 \
+    -run 'TestDemodulateMatchesReference'
+SLINGSHOT_WORKERS=4 go test -race ./internal/fronthaul -count=1 \
+    -run 'TestBFPMatchesReference|TestBFPHostile'
+SLINGSHOT_WORKERS=4 go test -race ./internal/phy -count=1 \
+    -run 'TestLLRLane'
+
+echo "== kernel bench smoke (--compare over FEC/BFP/demod kernels) =="
+# A fast --compare pass over just the kernel benchmarks against a
+# self-recorded snapshot: exercises the full compare pipeline (run, JSON,
+# diff, gate) on the hot kernels every check. Not a timing gate — COUNT=1
+# at 1x is noise — the timing gate is the committed baseline diff below.
+KSMOKE="$(mktemp -d)"
+BENCHTIME=1x COUNT=1 OUT="$KSMOKE/kern.json" \
+    scripts/bench.sh 'FECDecode$|BFPRoundTrip|Demodulate$' > /dev/null
+scripts/bench.sh --diff "$KSMOKE/kern.json" "$KSMOKE/kern.json" > /dev/null
+rm -rf "$KSMOKE"
+
 echo "== bench smoke + compare gate (-benchtime=1x) =="
 # One iteration of every benchmark through the JSON harness (asserts the
 # harness and the benchmarks' setup code stay healthy), then the --compare
