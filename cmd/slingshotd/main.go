@@ -6,6 +6,8 @@
 //
 //	slingshotd [-seconds 4] [-baseline] [-kill-at 1.5] [-migrate-at 3] [-trace out.json]
 //	slingshotd -cells 20 -ues 400          # sharded metro fleet, narrated summary
+//	slingshotd -serve :8080 -scenario fleet-chaos -ckpt-every 40
+//	                                       # resident server: /metrics /events /checkpoint /restore
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"slingshot/internal/ckpt"
 	"slingshot/internal/core"
 	"slingshot/internal/orion"
 	"slingshot/internal/shard"
@@ -33,8 +36,30 @@ func main() {
 		cells     = flag.Int("cells", 0, "run a sharded multi-cell fleet of this size instead of the single-cell narration")
 		ues       = flag.Int("ues", 0, "total UEs across the fleet (with -cells; default 10 per cell)")
 		profile   = flag.String("profile", "", "correlated-failure scenario for the fleet: independent, rack-loss, partition, upgrade-wave (with -cells; default fleet-chaos)")
+		serve     = flag.String("serve", "", "run as a resident HTTP server on this address (e.g. :8080); exposes /status /metrics /events /checkpoint /restore")
+		scenario  = flag.String("scenario", "fleet-chaos", "fleet scenario for -serve: "+fmt.Sprint(ckpt.ScenarioNames()))
+		ckptEvery = flag.Int("ckpt-every", 40, "with -serve: checkpoint every N TTI barriers (0 = only on demand)")
+		ckptDir   = flag.String("ckpt-dir", "", "with -serve: checkpoint directory (default $SLINGSHOT_CKPT, else a fresh temp dir)")
+		rogueAt   = flag.Float64("rogue-at", 0, "with -serve: inject an out-of-order RLC delivery at this virtual second (0 = never) to force an invariant violation and exercise the auto-replay path")
+		rogueCell = flag.Int("rogue-cell", 0, "with -serve: cell targeted by -rogue-at")
 	)
 	flag.Parse()
+
+	if *serve != "" {
+		c, u := *cells, *ues
+		if c <= 0 {
+			c = 8
+		}
+		if u <= 0 {
+			u = c * 3
+		}
+		runServe(serveOpts{
+			addr: *serve, scenario: *scenario, cells: c, ues: u, seed: *seed,
+			ckptEvery: *ckptEvery, ckptDir: *ckptDir,
+			rogueAt: sim.Time(*rogueAt * float64(sim.Second)), rogueCell: *rogueCell,
+		})
+		return
+	}
 
 	if *cells > 0 {
 		runFleet(*cells, *ues, *seed, *profile)

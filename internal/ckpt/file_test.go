@@ -1,0 +1,106 @@
+package ckpt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"slingshot/internal/sim"
+)
+
+func TestManagerSaveLoadNearest(t *testing.T) {
+	m := &Manager{Dir: t.TempDir()}
+	f := tinyFleet(t, 9, 0)
+	var saved []*Snapshot
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 10; j++ {
+			if _, err := f.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s := Capture(f)
+		if _, err := m.Save(s); err != nil {
+			t.Fatal(err)
+		}
+		saved = append(saved, s)
+	}
+	ats, err := m.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ats) != 3 {
+		t.Fatalf("listed %d snapshots, want 3", len(ats))
+	}
+	// Nearest below the second barrier returns the first; "latest" (-1)
+	// returns the third.
+	got, err := m.Nearest(saved[1].At - sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At != saved[0].At {
+		t.Fatalf("nearest(%v) = %v, want %v", saved[1].At-sim.Microsecond, got.At, saved[0].At)
+	}
+	got, err = m.Nearest(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At != saved[2].At || !bytes.Equal(got.State, saved[2].State) {
+		t.Fatal("latest snapshot did not round-trip")
+	}
+	if _, err := m.Nearest(saved[0].At - sim.Microsecond); err == nil {
+		t.Fatal("nearest before the first snapshot should fail")
+	}
+}
+
+// TestPartialCheckpointNeverObservable is the crash-mid-TTI satellite: a
+// writer dying mid-checkpoint must leave nothing a reader could mistake
+// for a snapshot. The manager writes to a dot-temp name and renames, so
+// (a) leftover temp files are invisible to List/Nearest, and (b) any file
+// that does carry the final name is complete and fingerprint-valid —
+// a torn final-name file (what a non-atomic writer would leave) is
+// rejected by Decode rather than restored from.
+func TestPartialCheckpointNeverObservable(t *testing.T) {
+	m := &Manager{Dir: t.TempDir()}
+	f := tinyFleet(t, 5, 15)
+	good := Capture(f)
+	if _, err := m.Save(good); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-write: a half-written temp file left behind.
+	enc := good.Encode()
+	tmpName := filepath.Join(m.Dir, tmpPrefix+"123456")
+	if err := os.WriteFile(tmpName, enc[:len(enc)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ats, err := m.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ats) != 1 {
+		t.Fatalf("temp file leaked into the listing: %v", ats)
+	}
+	got, err := m.Nearest(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.State, good.State) {
+		t.Fatal("nearest returned corrupted state")
+	}
+
+	// A torn file under a *final* name (non-atomic writer) must fail
+	// decode — and therefore can never silently restore.
+	torn := m.Path(good.At + sim.Millisecond)
+	if err := os.WriteFile(torn, enc[:len(enc)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Load(torn); err == nil {
+		t.Fatal("torn snapshot file loaded without error")
+	}
+	// Restore from the valid one still works end to end.
+	if _, err := Restore(got); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package ckpt
+
+import (
+	"fmt"
+	"sort"
+
+	"slingshot/internal/shard"
+	"slingshot/internal/sim"
+)
+
+// Scenario builds a named fleet config sized to cells/ues — the shared
+// vocabulary between slingshotd's -scenario flag, the restore-replay test
+// matrix, and check.sh's checkpoint lane. Every scenario is a
+// shard.Config, so one capture/restore path serves them all; "fig8" is
+// the single-cell video deployment expressed as a 1-cell fleet.
+func Scenario(name string, cells, ues int) (shard.Config, error) {
+	switch name {
+	case "fig8":
+		cfg := shard.DefaultConfig(1, 4)
+		cfg.Horizon = 200 * sim.Millisecond
+		cfg.Kills = 1
+		cfg.Spares = 1
+		return cfg, nil
+	case "metro":
+		return shard.DefaultConfig(cells, ues), nil
+	case "fleet-chaos":
+		return shard.ChaosConfig(cells, ues), nil
+	case "frontier-sample":
+		cfg, err := shard.CorrelatedConfig("rack-loss", cells, ues)
+		if err != nil {
+			return shard.Config{}, err
+		}
+		shard.ApplySpareRatio(&cfg, 0.5)
+		return cfg, nil
+	default:
+		return shard.Config{}, fmt.Errorf("ckpt: unknown scenario %q (have %v)", name, ScenarioNames())
+	}
+}
+
+// ScenarioNames lists the registry in sorted order.
+func ScenarioNames() []string {
+	names := []string{"fig8", "metro", "fleet-chaos", "frontier-sample"}
+	sort.Strings(names)
+	return names
+}

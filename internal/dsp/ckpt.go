@@ -1,0 +1,16 @@
+package dsp
+
+import "slingshot/internal/ckpt/wire"
+
+// SnapshotTo writes the channel's fading state and RNG point, pinning the
+// radio randomness a restored run will draw.
+func (c *Channel) SnapshotTo(w *wire.W) {
+	w.F64(c.MeanSNRdB)
+	w.F64(c.FadeStd)
+	w.F64(c.Corr)
+	w.F64(c.state)
+	w.F64(c.phase)
+	for _, v := range c.rng.State() {
+		w.U64(v)
+	}
+}

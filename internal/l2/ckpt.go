@@ -1,0 +1,74 @@
+package l2
+
+import (
+	"slingshot/internal/ckpt/wire"
+	"slingshot/internal/dsp"
+)
+
+// SnapshotTo writes the L2's full MAC/RLC state at a TTI barrier:
+// scheduler counters, then every cell in sorted order with its per-UE
+// contexts (link adaptation, both HARQ entity arrays, RLC tx/rx).
+// Retransmission PDU payloads fold in as digests so the snapshot never
+// retains the L2's recycled HARQ buffers.
+func (l *L2) SnapshotTo(w *wire.W) {
+	s := &l.Stats
+	w.U64(s.ULGrants)
+	w.U64(s.ULRetx)
+	w.U64(s.ULCrcOK)
+	w.U64(s.ULCrcFail)
+	w.U64(s.ULGiveUps)
+	w.U64(s.DLTBs)
+	w.U64(s.DLRetx)
+	w.U64(s.DLAcks)
+	w.U64(s.DLNacks)
+	w.U64(s.DLGiveUps)
+	w.U64(s.PacketsUp)
+	w.U64(s.PacketsDown)
+	w.U64(s.FeedbackTO)
+	w.U64(s.SlotsDriven)
+	w.U32(uint32(len(l.cellOrder)))
+	for _, id := range l.cellOrder {
+		c := l.cells[id]
+		w.U16(id)
+		w.U64(c.seed)
+		w.Bool(c.configured)
+		w.Bool(c.started)
+		w.U32(uint32(len(c.ueOrder)))
+		for _, ueID := range c.ueOrder {
+			u := c.ues[ueID]
+			w.U16(ueID)
+			w.F64(u.ulSNR)
+			w.F64(u.dlCQI)
+			w.Bool(u.ulKnown)
+			w.Bool(u.dlKnown)
+			w.I64(int64(u.ulGapSince))
+			for i := range u.ulHARQ {
+				p := &u.ulHARQ[i]
+				w.U8(uint8(p.state))
+				w.U32(uint32(p.txCount))
+				w.U64(p.grantSlot)
+				snapAlloc(w, p.alloc)
+				w.U32(p.tbBytes)
+			}
+			for i := range u.dlHARQ {
+				p := &u.dlHARQ[i]
+				w.U8(uint8(p.state))
+				w.U32(uint32(p.txCount))
+				w.U64(p.sentSlot)
+				snapAlloc(w, p.alloc)
+				w.U32(p.tbBytes)
+				w.U32(uint32(len(p.pdu)))
+				w.U64(wire.Hash64(p.pdu))
+			}
+			u.dlTx.SnapshotTo(w)
+			u.ulRx.SnapshotTo(w)
+		}
+	}
+}
+
+func snapAlloc(w *wire.W, a dsp.Allocation) {
+	w.U16(a.UEID)
+	w.U32(uint32(a.StartPRB))
+	w.U32(uint32(a.NumPRB))
+	w.U8(uint8(a.Mod))
+}

@@ -1,0 +1,85 @@
+package orion
+
+import (
+	"sort"
+
+	"slingshot/internal/ckpt/wire"
+)
+
+// SnapshotTo writes the Orion's full routing state: counters, the busy-
+// polling queue horizon, RNG point, per-cell primary/secondary routing in
+// sorted order, known-failed servers, and the PHY-side gap-fill cursors.
+func (o *Orion) SnapshotTo(w *wire.W) {
+	s := &o.Stats
+	w.U64(s.FromL2)
+	w.U64(s.FromPHY)
+	w.U64(s.NetIn)
+	w.U64(s.NetOut)
+	w.U64(s.NullsSent)
+	w.U64(s.RespDropped)
+	w.U64(s.GapFilled)
+	w.U64(s.Migrations)
+	w.U64(s.Failovers)
+	w.U64(s.NotifyRecv)
+	w.U64(s.BytesNetOut)
+	w.I64(int64(o.busyUntil))
+	w.U64(o.lastSeenSlot)
+	w.U8(o.l2Server)
+	for _, v := range o.rng.State() {
+		w.U64(v)
+	}
+
+	cells := make([]int, 0, len(o.cells))
+	for id := range o.cells {
+		cells = append(cells, int(id))
+	}
+	sort.Ints(cells)
+	w.U32(uint32(len(cells)))
+	for _, id := range cells {
+		c := o.cells[uint16(id)]
+		w.U16(uint16(id))
+		w.U8(c.primary)
+		w.U8(c.secondary)
+		w.Bool(c.activePrimary)
+		w.U64(c.switchFromSlot)
+		w.Bool(c.storedInit != nil)
+		w.Bool(c.started)
+		w.U32(uint32(c.migrations))
+	}
+
+	failed := make([]int, 0, len(o.failedServers))
+	for id, dead := range o.failedServers {
+		if dead {
+			failed = append(failed, int(id))
+		}
+	}
+	sort.Ints(failed)
+	w.U32(uint32(len(failed)))
+	for _, id := range failed {
+		w.U8(uint8(id))
+	}
+
+	snapCursor(w, o.lastDeliveredUL)
+	snapCursor(w, o.lastDeliveredDL)
+	w.U32(uint32(len(o.MigrationLog)))
+	for _, m := range o.MigrationLog {
+		w.U16(m.Cell)
+		w.I64(int64(m.At))
+		w.U64(m.AtSlot)
+		w.U8(m.ToServer)
+		w.Bool(m.Failover)
+	}
+}
+
+func snapCursor(w *wire.W, m map[uint16]uint64) {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	w.U32(uint32(len(ids)))
+	for _, id := range ids {
+		w.U16(uint16(id))
+		w.U64(m[uint16(id)])
+	}
+}

@@ -1,0 +1,125 @@
+package phy
+
+import (
+	"sort"
+
+	"slingshot/internal/ckpt/wire"
+)
+
+// SnapshotTo writes the PHY's full state at a TTI barrier: counters, the
+// RNG point, and per-cell protocol state in sorted-cell order. Slot maps
+// (configs, TX_DATA, pending uplink stages) are written as sorted slot
+// keys plus per-slot digests — at a barrier these hold only the pipeline
+// lookahead, and digesting immediately means no pooled FAPI/IQ buffer is
+// retained by the snapshot.
+func (p *PHY) SnapshotTo(w *wire.W) {
+	s := &p.Stats
+	w.U64(s.SlotsProcessed)
+	w.U64(s.NullSlots)
+	w.U64(s.WorkUnits)
+	w.U64(s.EncodedTBs)
+	w.U64(s.DecodeOK)
+	w.U64(s.DecodeFail)
+	w.U64(s.HeartbeatsSent)
+	w.U64(s.MissedConfigs)
+	w.U64(s.FronthaulRx)
+	w.U64(s.FronthaulTx)
+	w.Bool(p.crashed)
+	for _, v := range p.rng.State() {
+		w.U64(v)
+	}
+	w.U32(uint32(len(p.cellOrder)))
+	for _, id := range p.cellOrder {
+		c := p.cells[id]
+		w.U16(id)
+		w.Bool(c.started)
+		w.U32(uint32(c.iters))
+		w.U8(c.seq)
+		w.U32(uint32(c.missedConfigs))
+		c.pool.SnapshotTo(w)
+
+		ues := make([]int, 0, len(c.snr))
+		for ue := range c.snr {
+			ues = append(ues, int(ue))
+		}
+		sort.Ints(ues)
+		w.U32(uint32(len(ues)))
+		for _, ue := range ues {
+			w.U16(uint16(ue))
+			c.snr[uint16(ue)].SnapshotTo(w)
+		}
+
+		trains := make([]int, 0, len(c.mimoTrain))
+		for ue := range c.mimoTrain {
+			trains = append(trains, int(ue))
+		}
+		sort.Ints(trains)
+		w.U32(uint32(len(trains)))
+		for _, ue := range trains {
+			w.U16(uint16(ue))
+			w.U32(uint32(c.mimoTrain[uint16(ue)]))
+		}
+
+		snapSlotSet(w, mapSlots(c.ulConfigs))
+		snapSlotSet(w, mapSlots(c.dlConfigs))
+		snapSlotSet(w, mapSlots(c.txData))
+		snapPendingUL(w, c.ulPending)
+		snapULSeen(w, c.ulSeen)
+		w.U32(uint32(len(c.grantQueue)))
+	}
+}
+
+func mapSlots[V any](m map[uint64]V) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for slot := range m {
+		out = append(out, slot)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func snapSlotSet(w *wire.W, slots []uint64) {
+	w.U32(uint32(len(slots)))
+	for _, slot := range slots {
+		w.U64(slot)
+	}
+}
+
+func snapPendingUL(w *wire.W, m map[uint64][]pendingUL) {
+	slots := mapSlots(m)
+	w.U32(uint32(len(slots)))
+	for _, slot := range slots {
+		w.U64(slot)
+		blocks := m[slot]
+		w.U32(uint32(len(blocks)))
+		for i := range blocks {
+			b := &blocks[i]
+			w.U16(b.ue)
+			w.U8(b.harq)
+			w.Bool(b.newData)
+			w.Bool(b.hadIQ)
+			w.U64(b.tbHash)
+			w.F64(b.snrAvg)
+		}
+	}
+}
+
+func snapULSeen(w *wire.W, m map[uint64]map[uint16]bool) {
+	slots := mapSlots(m)
+	w.U32(uint32(len(slots)))
+	for _, slot := range slots {
+		w.U64(slot)
+		seen := m[slot]
+		ues := make([]int, 0, len(seen))
+		for ue := range seen {
+			if seen[ue] {
+				ues = append(ues, int(ue))
+			}
+		}
+		sort.Ints(ues)
+		w.U32(uint32(len(ues)))
+		for _, ue := range ues {
+			w.U16(uint16(ue))
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package rlc
+
+import (
+	"sort"
+
+	"slingshot/internal/ckpt/wire"
+)
+
+// SnapshotTo writes the transmitter's backlog state. Packet contents fold
+// in as FNV digests (length + hash per packet), computed immediately so
+// no pool-backed buffer is retained by the snapshot.
+func (t *Tx) SnapshotTo(w *wire.W) {
+	w.U16(t.nextSN)
+	w.U32(uint32(t.offset))
+	w.U32(uint32(t.Queued))
+	w.U32(uint32(len(t.queue)))
+	for _, pkt := range t.queue {
+		w.U32(uint32(len(pkt)))
+		w.U64(wire.Hash64(pkt))
+	}
+}
+
+// SnapshotTo writes the receiver's reordering state: window position, the
+// pending PDU map in sorted SN order (digested), and the in-flight
+// reassembly fragment.
+func (r *Rx) SnapshotTo(w *wire.W) {
+	w.U16(r.WindowSize)
+	w.U16(r.expected)
+	w.U64(r.Delivered)
+	w.U64(r.Discarded)
+	w.Bool(r.inPkt)
+	w.U32(uint32(len(r.partial)))
+	w.U64(wire.Hash64(r.partial))
+	sns := make([]int, 0, len(r.pending))
+	for sn := range r.pending {
+		sns = append(sns, int(sn))
+	}
+	sort.Ints(sns)
+	w.U32(uint32(len(sns)))
+	for _, sn := range sns {
+		pdu := r.pending[uint16(sn)]
+		w.U16(uint16(sn))
+		w.U32(uint32(len(pdu)))
+		w.U64(wire.Hash64(pdu))
+	}
+}

@@ -1,0 +1,17 @@
+package ru
+
+import "slingshot/internal/ckpt/wire"
+
+// SnapshotTo writes the RU's counters and fronthaul sequencing state.
+func (r *RU) SnapshotTo(w *wire.W) {
+	s := &r.Stats
+	w.U64(s.DLControlRx)
+	w.U64(s.DLDataRx)
+	w.U64(s.ULDataTx)
+	w.U64(s.StatusTx)
+	w.U64(s.DecodeErr)
+	w.U8(r.seq)
+	w.I64(int64(r.lastDL))
+	w.Bool(r.everDL)
+	w.U32(uint32(len(r.ues)))
+}

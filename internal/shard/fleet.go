@@ -93,6 +93,14 @@ type Config struct {
 	// Trace arms a per-cell trace recorder and aggregates every cell's
 	// counters into the report (shard-tagged via the fleet registry).
 	Trace bool
+
+	// RogueAt, when positive, injects a deliberately out-of-order stamped
+	// packet into RogueCell's invariant checker at that virtual time — a
+	// deterministic forced violation for exercising the flight recorder
+	// and slingshotd's checkpoint auto-replay. Zero (the default) leaves
+	// the run untouched: reports are byte-identical to earlier PRs.
+	RogueAt   sim.Time
+	RogueCell int
 }
 
 // maxUEsPerCell keeps every UE at ≥1 PRB under the L2's equal-share
@@ -476,6 +484,13 @@ type Fleet struct {
 	partDrop    uint64
 	exchanged   uint64
 	reg         *trace.Registry
+
+	// Lifecycle for incremental stepping (Start/Step/Finish): now is the
+	// last completed barrier, so it is the only virtual time at which the
+	// fleet's state is globally consistent and snapshot-safe.
+	started  bool
+	now      sim.Time
+	finished *Report
 }
 
 // zoned reports whether this run renders topology/zone lines: any
@@ -725,6 +740,23 @@ func New(cfg Config) (*Fleet, error) {
 				return f.upgPlan[a].at < f.upgPlan[b].at
 			}
 			return f.upgPlan[a].cell < f.upgPlan[b].cell
+		})
+	}
+
+	// Forced violation: feed the checker a stamped packet pair whose
+	// sequence runs backwards on a flow id no real UE uses, so exactly one
+	// deterministic rlc-order violation latches (arming the flight
+	// recorder) without perturbing any real traffic stream.
+	if cfg.RogueAt > 0 {
+		if cfg.RogueCell < 0 || cfg.RogueCell >= cfg.Cells {
+			return nil, fmt.Errorf("shard: rogue cell %d outside fleet of %d", cfg.RogueCell, cfg.Cells)
+		}
+		cs := f.cells[cfg.RogueCell]
+		f.faults = append(f.faults, fmt.Sprintf("rogue cell=%d at=%dus", cfg.RogueCell, int64(cfg.RogueAt/sim.Microsecond)))
+		cs.eng.At(cfg.RogueAt, "fleet.rogue", func() {
+			const rogueFlow = uint16(0xFFFE)
+			cs.chk.ObserveUplink(rogueFlow, chaos.TrafficPacket(false, rogueFlow, 2, 32))
+			cs.chk.ObserveUplink(rogueFlow, chaos.TrafficPacket(false, rogueFlow, 1, 32))
 		})
 	}
 	return f, nil
@@ -987,37 +1019,115 @@ func (f *Fleet) handleControl(m Message) {
 	}
 }
 
-// Run executes the whole fleet to the horizon and returns its report.
-func (f *Fleet) Run() (*Report, error) {
+// Start boots every cell's deployment. Idempotent; Step calls it lazily,
+// so existing Run callers see no change.
+func (f *Fleet) Start() {
+	if f.started {
+		return
+	}
+	f.started = true
 	for _, cs := range f.cells {
 		cs.d.Start()
 	}
-	step := f.cfg.Step
-	for t := step; ; t += step {
-		if t > f.cfg.Horizon {
-			t = f.cfg.Horizon
+}
+
+// Step advances the fleet one lockstep barrier: every shard runs to the
+// next barrier time (one internal/par task per runner group), then the
+// coordinator exchanges messages. Workers never outlive the barrier, so
+// virtual time is globally consistent — and the fleet snapshot-safe —
+// exactly when Step returns. done reports the horizon was reached.
+func (f *Fleet) Step() (done bool, err error) {
+	f.Start()
+	if f.now >= f.cfg.Horizon {
+		return true, nil
+	}
+	t := f.now + f.cfg.Step
+	if t > f.cfg.Horizon {
+		t = f.cfg.Horizon
+	}
+	par.ForEach(len(f.groups), func(g int) {
+		for _, ci := range f.groups[g] {
+			f.cells[ci].eng.RunUntil(t)
 		}
-		// One internal/par task per runner group: every shard advances to
-		// the barrier, then the coordinator exchanges messages. Workers
-		// never outlive the barrier, so virtual time is globally
-		// consistent whenever the mailbox moves.
-		par.ForEach(len(f.groups), func(g int) {
-			for _, ci := range f.groups[g] {
-				f.cells[ci].eng.RunUntil(t)
-			}
-		})
-		if err := f.exchange(t, t+step); err != nil {
-			return nil, err
-		}
-		if t == f.cfg.Horizon {
-			break
-		}
+	})
+	if err := f.exchange(t, t+f.cfg.Step); err != nil {
+		return false, err
+	}
+	f.now = t
+	return t == f.cfg.Horizon, nil
+}
+
+// Finish stops every cell, runs the end-of-schedule invariant checks, and
+// finalizes the report. Idempotent: the first call's report is cached.
+func (f *Fleet) Finish() *Report {
+	if f.finished != nil {
+		return f.finished
 	}
 	for _, cs := range f.cells {
 		cs.d.Stop()
 		cs.chk.Finish()
 	}
-	return f.report(), nil
+	f.finished = f.report()
+	return f.finished
+}
+
+// Now returns the last completed barrier time.
+func (f *Fleet) Now() sim.Time { return f.now }
+
+// Config returns the (normalized) fleet configuration.
+func (f *Fleet) Config() Config { return f.cfg }
+
+// ViolationsLive sums every cell's invariant-violation count so far,
+// without finalizing the run — the resident server's watch signal.
+func (f *Fleet) ViolationsLive() int {
+	n := 0
+	for _, cs := range f.cells {
+		n += cs.chk.Total
+	}
+	return n
+}
+
+// FlightDumps returns each cell's flight-recorder dump (empty string for
+// cells that never violated), indexed by cell.
+func (f *Fleet) FlightDumps() []string {
+	out := make([]string, len(f.cells))
+	for i, cs := range f.cells {
+		out[i] = cs.chk.Flight()
+	}
+	return out
+}
+
+// Faults returns a copy of the build-time fault plan (draw order), so a
+// resident server can report it before the run finishes.
+func (f *Fleet) Faults() []string {
+	return append([]string(nil), f.faults...)
+}
+
+// MergedMetrics folds every cell's counter registry into a fresh one
+// (shard-tagged like the report's exposition). Nil when Trace is off.
+func (f *Fleet) MergedMetrics() *trace.Registry {
+	if !f.cfg.Trace {
+		return nil
+	}
+	reg := trace.NewRegistry()
+	for _, cs := range f.cells {
+		reg.MergeFrom(cs.rec.Metrics())
+		reg.Counter(fmt.Sprintf("fleet.shard%04d.events", cs.idx)).Add(cs.rec.Total())
+	}
+	return reg
+}
+
+// Run executes the whole fleet to the horizon and returns its report.
+func (f *Fleet) Run() (*Report, error) {
+	for {
+		done, err := f.Step()
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return f.Finish(), nil
+		}
+	}
 }
 
 // report finalizes per-cell stats into the deterministic fleet report.

@@ -3,6 +3,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 )
 
 // Event is a scheduled callback. Events with equal times fire in the order
@@ -324,3 +325,40 @@ func (e *Engine) Stopped() bool { return e.stopped }
 // Pending returns the number of queued events (Canceled-but-not-Removed
 // events still count until their fire time).
 func (e *Engine) Pending() int { return e.queue.Len() }
+
+// NextSeq returns the sequence number the next scheduled event will get.
+// Together with QueueSnapshot it pins the engine's scheduling state for
+// deployment snapshots: two engines with equal clocks, equal next
+// sequence numbers and equal queue snapshots will fire the same events in
+// the same order.
+func (e *Engine) NextSeq() uint64 { return e.nextSeq }
+
+// QueuedEvent is one pending event's serializable identity: its fire
+// time, FIFO tie-break sequence, label and cancel flag. The callback
+// itself is a closure and deliberately not part of the identity — restore
+// reconstructs closures by deterministic re-execution (internal/ckpt),
+// and the (At, Seq, Name) triple is what proves the reconstruction
+// reached the same schedule.
+type QueuedEvent struct {
+	At       Time
+	Seq      uint64
+	Name     string
+	Canceled bool
+}
+
+// QueueSnapshot returns the pending events in canonical (At, Seq) order.
+// The heap itself is only partially ordered, so the snapshot sorts a
+// copy; the engine's queue is not disturbed.
+func (e *Engine) QueueSnapshot() []QueuedEvent {
+	out := make([]QueuedEvent, len(e.queue))
+	for i, ev := range e.queue {
+		out[i] = QueuedEvent{At: ev.At, Seq: ev.seq, Name: ev.Name, Canceled: ev.canceled}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}

@@ -33,6 +33,11 @@ func (r *RNG) Fork(id uint64) *RNG {
 	return NewRNG(r.Uint64() ^ (id * 0xd1342543de82ef95))
 }
 
+// State returns the generator's full 256-bit internal state. Snapshots
+// serialize it to prove two RNG streams are at the same point; two RNGs
+// with equal state produce identical output forever.
+func (r *RNG) State() [4]uint64 { return r.s }
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.

@@ -1,0 +1,64 @@
+package switchsim
+
+import "slingshot/internal/ckpt/wire"
+
+// SnapshotTo writes the switch's dataplane registers and detector state.
+// Fixed-size register files (RU-to-PHY mapping, armed migrations, liveness
+// detectors, gap observers) are written densely: MaxIDs is small and the
+// dense form needs no sorting to be canonical.
+func (s *Switch) SnapshotTo(w *wire.W) {
+	st := &s.Stats
+	w.U64(st.Forwarded)
+	w.U64(st.UplinkForwarded)
+	w.U64(st.DownlinkForwarded)
+	w.U64(st.DroppedNoRoute)
+	w.U64(st.DroppedStalePHY)
+	w.U64(st.DroppedUnmappedRU)
+	w.U64(st.CommandsReceived)
+	w.U64(st.FailuresDetected)
+	w.U64(st.MigrationsExecuted)
+	w.U32(uint32(s.ctrlPending))
+	w.Bool(s.timerOn)
+	w.I64(int64(s.tickOrigin))
+	w.I64(int64(s.tickPeriod))
+	for i := 0; i < MaxIDs; i++ {
+		w.U8(s.ruToPHY[i])
+	}
+	for i := 0; i < MaxIDs; i++ {
+		m := &s.migrations[i]
+		w.Bool(m.armed)
+		if m.armed {
+			w.U64(m.absSlot)
+			w.U8(m.phy)
+			w.I64(int64(m.armedAt))
+		}
+	}
+	for i := 0; i < MaxIDs; i++ {
+		d := &s.detectors[i]
+		w.Bool(d.armed)
+		if d.armed {
+			w.I64(d.resetTick)
+			w.Bool(d.seen)
+			w.Bool(d.fired)
+		}
+	}
+	for i := 0; i < MaxIDs; i++ {
+		w.Bool(s.dlEverSeen[i])
+		if s.dlEverSeen[i] {
+			w.I64(int64(s.dlLastSeen[i]))
+			w.I64(int64(s.DLGapMax[i]))
+		}
+	}
+	w.U32(uint32(len(s.MigrationLog)))
+	for _, m := range s.MigrationLog {
+		w.U8(m.RU)
+		w.U8(m.FromPHY)
+		w.U8(m.ToPHY)
+		w.I64(int64(m.At))
+		w.U64(m.ReqAbsSlot)
+	}
+	w.U32(uint32(len(s.DetectionLog)))
+	for _, t := range s.DetectionLog {
+		w.I64(int64(t))
+	}
+}

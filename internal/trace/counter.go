@@ -185,6 +185,19 @@ func (r *Registry) Exposition() string {
 	return b.String()
 }
 
+// Fingerprint hashes the exposition text (FNV-1a). Snapshot verification
+// and the slingshotd /metrics endpoint use it as a compact identity for
+// "these two metric sets are byte-identical".
+func (r *Registry) Fingerprint() uint64 {
+	const offset, prime = 0xcbf29ce484222325, 0x100000001b3
+	h := uint64(offset)
+	for _, c := range []byte(r.Exposition()) {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}
+
 // MergeFrom folds another registry into this one: counters accumulate and
 // gauges sum, keyed by name. Deterministic given deterministic inputs (the
 // values merge, not any iteration order). Used by the shard fleet to

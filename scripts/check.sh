@@ -123,6 +123,71 @@ echo "== metro scale lane (-race, 100 cells / 10k UEs) =="
 # barrier/mailbox correctness at width, not a long soak).
 go run -race ./cmd/experiments -cells 100 -ues 10000 -horizon 15ms | tail -3
 
+echo "== checkpoint lane (-race restore-replay equivalence) =="
+# The time-travel contract: restore-at-barrier-k then run-to-horizon must
+# be byte-identical to the uninterrupted run across shards x workers, and
+# a forced rogue violation's replayed flight dump must match the straight
+# run's. Run under the race detector with the worker pool live.
+SLINGSHOT_WORKERS=4 go test -race . -count=1 \
+    -run 'TestRestoreReplayEquivalence$|TestRestoreReplayEquivalencePooling|TestForcedViolationReplayDump'
+
+echo "== checkpoint lane (slingshotd HTTP smoke) =="
+# Resident-server smoke: bring up -serve with a forced rogue violation,
+# wait for the run (which auto-replays from the nearest checkpoint and
+# must find byte-identical flight dumps), scrape /metrics, rewind-and-hold
+# at the violation barrier, force a /checkpoint, kill the server, restart
+# a fresh process on the same checkpoint directory, /restore the same
+# barrier, and require the identical snapshot fingerprint across the
+# process boundary.
+CKPT="$(mktemp -d)"
+go build -o "$CKPT/slingshotd" ./cmd/slingshotd
+"$CKPT/slingshotd" -serve 127.0.0.1:0 -scenario metro -cells 4 -ues 8 \
+    -ckpt-every 40 -ckpt-dir "$CKPT/snaps" -rogue-at 0.1 -rogue-cell 2 \
+    > "$CKPT/serve1.log" 2>&1 &
+SRV=$!
+trap 'rm -rf "$SMOKE" "$CKPT"; kill $SRV 2>/dev/null || true' EXIT
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's|serve: listening on http://||p' "$CKPT/serve1.log")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "slingshotd -serve did not come up" >&2; exit 1; }
+DONE=""
+for _ in $(seq 1 150); do
+    if curl -sf "http://$ADDR/status" | grep -q '"done": true'; then DONE=1; break; fi
+    sleep 0.2
+done
+[ -n "$DONE" ] || { echo "serve run did not finish" >&2; exit 1; }
+curl -sf "http://$ADDR/metrics" | grep -q '# fingerprint' \
+    || { echo "/metrics missing fingerprint line" >&2; exit 1; }
+curl -sf "http://$ADDR/events" | grep -q 'auto-replay: flight dumps byte-identical' \
+    || { echo "auto-replay did not verify the forced violation" >&2; exit 1; }
+FP1="$(curl -sf -X POST "http://$ADDR/restore?at_us=100000&hold=1" \
+    | sed -n 's/.*"fingerprint": "\([0-9a-f]*\)".*/\1/p')"
+FP2="$(curl -sf -X POST "http://$ADDR/checkpoint" \
+    | sed -n 's/.*"fingerprint": "\([0-9a-f]*\)".*/\1/p')"
+kill $SRV
+[ -n "$FP1" ] && [ "$FP1" = "$FP2" ] \
+    || { echo "restore/checkpoint fingerprints disagree: '$FP1' vs '$FP2'" >&2; exit 1; }
+"$CKPT/slingshotd" -serve 127.0.0.1:0 -scenario metro -cells 4 -ues 8 \
+    -ckpt-every 0 -ckpt-dir "$CKPT/snaps" -rogue-at 0.1 -rogue-cell 2 \
+    > "$CKPT/serve2.log" 2>&1 &
+SRV=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's|serve: listening on http://||p' "$CKPT/serve2.log")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "restarted slingshotd did not come up" >&2; exit 1; }
+FP3="$(curl -sf -X POST "http://$ADDR/restore?at_us=100000&hold=1" \
+    | sed -n 's/.*"fingerprint": "\([0-9a-f]*\)".*/\1/p')"
+kill $SRV
+[ "$FP1" = "$FP3" ] \
+    || { echo "fingerprint changed across process restart: '$FP1' vs '$FP3'" >&2; exit 1; }
+echo "checkpoint fingerprint stable across restart: $FP1"
+
 echo "== fuzz smoke (${FUZZTIME}/target) =="
 for target in \
     internal/fronthaul:FuzzDecodePacket \
@@ -132,7 +197,8 @@ for target in \
     internal/fapi:FuzzDecodeFAPI \
     internal/phy:FuzzCodecRoundTrip \
     internal/phy:FuzzDecodeBlockGarbage \
-    internal/shard:FuzzDecodeMessage
+    internal/shard:FuzzDecodeMessage \
+    internal/ckpt:FuzzCheckpointDecode
 do
     pkg="${target%%:*}"
     fn="${target##*:}"
