@@ -16,6 +16,7 @@ import (
 	"slingshot/internal/core"
 	"slingshot/internal/fapi"
 	"slingshot/internal/fronthaul"
+	"slingshot/internal/mem"
 	"slingshot/internal/netmodel"
 	"slingshot/internal/phy"
 	"slingshot/internal/sim"
@@ -105,12 +106,14 @@ func (ic *interceptor) HandleFrame(f *netmodel.Frame) {
 	if ic.lossProb > 0 && ic.rng.Bool(ic.lossProb) {
 		ic.Dropped++
 		ic.perturb("loss", ic.Dropped, "chaos.fh.dropped")
+		netmodel.ReleaseFrame(f)
 		return
 	}
 	if ic.corruptProb > 0 && ic.rng.Bool(ic.corruptProb) {
 		if g := corruptIQ(f, ic.rng); g != nil {
 			ic.Corrupted++
 			ic.perturb("corrupt", ic.Corrupted, "chaos.fh.corrupted")
+			netmodel.ReleaseFrame(f)
 			f = g
 		}
 	}
@@ -155,14 +158,14 @@ func corruptIQ(f *netmodel.Frame, rng *sim.RNG) *netmodel.Frame {
 	if plen == 0 || len(data) < hdr+plen {
 		return nil
 	}
-	buf := make([]byte, len(data))
-	copy(buf, data)
+	buf := append(mem.GetBytesCap(len(data)), data...)
 	for n := 1 + rng.Intn(3); n > 0; n-- {
 		buf[hdr+rng.Intn(plen)] ^= byte(1 + rng.Intn(255))
 	}
-	g := *f
+	g := netmodel.GetFrame()
+	*g = *f
 	g.Payload = buf
-	return &g
+	return g
 }
 
 // TrafficBin aggregates delivered application bytes over one 10 ms window

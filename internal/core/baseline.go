@@ -19,6 +19,7 @@ type baselineController struct {
 }
 
 func (b *baselineController) HandleFrame(f *netmodel.Frame) {
+	defer netmodel.ReleaseFrame(f) // terminal consumer; command is decoded out
 	if f.Type != netmodel.EtherTypeControl {
 		return
 	}

@@ -84,13 +84,33 @@ const CurrentVersion = 1
 // headerLen is the fixed header size before the payload.
 const headerLen = 21
 
-// Serialize encodes the packet to wire format.
+// WireLen returns the packet's serialized size.
+func (p *Packet) WireLen() int { return headerLen + len(p.Payload) + len(p.Aux) }
+
+// Serialize encodes the packet to wire format in a fresh buffer.
 func (p *Packet) Serialize() []byte {
-	out := make([]byte, headerLen+len(p.Payload)+len(p.Aux))
+	return p.SerializeInto(make([]byte, p.WireLen()))
+}
+
+// SerializePooled encodes the packet into a wire buffer leased from
+// internal/mem. Ownership transfers to the caller (typically straight
+// into a Frame.Payload, whose terminal receiver returns it); with pooling
+// disabled this is exactly Serialize.
+func (p *Packet) SerializePooled() []byte {
+	n := p.WireLen()
+	return p.SerializeInto(mem.GetBytesCap(n)[:n])
+}
+
+// SerializeInto encodes the packet into out, which must be exactly
+// WireLen() bytes, and returns it.
+func (p *Packet) SerializeInto(out []byte) []byte {
 	out[0] = p.Version<<4 | uint8(p.Type)&0x0F
 	binary.BigEndian.PutUint16(out[1:3], uint16(len(p.Payload)))
 	binary.BigEndian.PutUint16(out[3:5], p.EAxC)
 	out[5] = p.Seq
+	// Write every header byte unconditionally: the buffer may be a pooled
+	// lease carrying a previous packet's bytes, not a zeroed allocation.
+	out[6] = 0
 	if p.Dir == Downlink {
 		out[6] = 0x80
 	}

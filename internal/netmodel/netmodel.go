@@ -10,6 +10,7 @@ package netmodel
 import (
 	"fmt"
 
+	"slingshot/internal/mem"
 	"slingshot/internal/sim"
 )
 
@@ -69,7 +70,32 @@ func (f *Frame) WireSize() int {
 	return n + 20
 }
 
-// Receiver consumes delivered frames.
+// framePool recycles Frame structs across the fabric's send paths. Every
+// frame has exactly one owner at a time — a link delivers to one receiver,
+// the switch forwards to one egress — so the terminal receiver (or the
+// drop point) releases it.
+var framePool = mem.NewPool(func(f *Frame) { *f = Frame{} })
+
+// GetFrame leases a zeroed frame struct from the shared pool. Senders fill
+// it and hand ownership to Send/HandleFrame like a heap-allocated frame.
+func GetFrame() *Frame { return framePool.Get() }
+
+// ReleaseFrame recycles f and its payload wire buffer. Only the frame's
+// terminal consumer may call it, after copying out everything it retains;
+// drop paths that skip the call merely lose the buffers to the GC, which
+// the pooling contract allows. Safe on nil and on frames (or payloads)
+// that were never pooled — the pools adopt them.
+func ReleaseFrame(f *Frame) {
+	if f == nil {
+		return
+	}
+	mem.PutBytes(f.Payload)
+	framePool.Put(f)
+}
+
+// Receiver consumes delivered frames. The receiver takes ownership of the
+// frame: terminal consumers release it (ReleaseFrame) once done, while
+// forwarding hops pass ownership on untouched.
 type Receiver interface {
 	HandleFrame(f *Frame)
 }
@@ -131,6 +157,7 @@ func (l *Link) Send(f *Frame) {
 
 	if l.LossProb > 0 && l.RNG != nil && l.RNG.Bool(l.LossProb) {
 		l.Dropped++
+		ReleaseFrame(f)
 		return
 	}
 

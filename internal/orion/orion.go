@@ -275,12 +275,12 @@ func (o *Orion) netSend(dstServer uint8, m fapi.Message) {
 	payload := fapi.EncodePooled(m)
 	o.Stats.NetOut++
 	o.Stats.BytesNetOut += uint64(len(payload))
-	o.SendFrame(&netmodel.Frame{
-		Src:     o.Addr,
-		Dst:     netmodel.OrionAddr(dstServer),
-		Type:    netmodel.EtherTypeFAPI,
-		Payload: payload,
-	})
+	f := netmodel.GetFrame()
+	f.Src = o.Addr
+	f.Dst = netmodel.OrionAddr(dstServer)
+	f.Type = netmodel.EtherTypeFAPI
+	f.Payload = payload
+	o.SendFrame(f)
 }
 
 // FromL2 is the SHM entry point: the co-located L2 "connects to the PHY"
@@ -410,8 +410,15 @@ func (o *Orion) FromPHY(m fapi.Message) {
 }
 
 // HandleFrame receives network traffic: inter-Orion FAPI and switch
-// control notifications.
+// control notifications. Orion is the frame's terminal consumer — decode
+// copies everything out, so the frame (and, for control traffic, its
+// payload; the FAPI path recycles its own) is released on return.
 func (o *Orion) HandleFrame(f *netmodel.Frame) {
+	o.handleFrame(f)
+	netmodel.ReleaseFrame(f)
+}
+
+func (o *Orion) handleFrame(f *netmodel.Frame) {
 	switch f.Type {
 	case netmodel.EtherTypeFAPI:
 		m, err := fapi.Decode(f.Payload)
@@ -559,12 +566,12 @@ func (o *Orion) migrate(cell uint16, failover bool) uint64 {
 		AbsSlot: boundary,
 	}
 	if o.SendFrame != nil {
-		o.SendFrame(&netmodel.Frame{
-			Src:     o.Addr,
-			Dst:     netmodel.ControllerAddr(),
-			Type:    netmodel.EtherTypeControl,
-			Payload: cmd.Encode(),
-		})
+		f := netmodel.GetFrame()
+		f.Src = o.Addr
+		f.Dst = netmodel.ControllerAddr()
+		f.Type = netmodel.EtherTypeControl
+		f.Payload = cmd.Encode()
+		o.SendFrame(f)
 	}
 	ev := MigrationEvent{
 		Cell: cell, At: o.Engine.Now(), AtSlot: boundary,

@@ -560,13 +560,12 @@ func (p *PHY) sendHeartbeat(c *cell, slot uint64, sections []fronthaul.Section) 
 }
 
 func (p *PHY) sendFronthaulAt(delay sim.Time, pkt *fronthaul.Packet, c *cell, virtual int) {
-	frame := &netmodel.Frame{
-		Src:     p.Addr,
-		Dst:     netmodel.RUAddr(c.id),
-		Type:    netmodel.EtherTypeECPRI,
-		Payload: pkt.Serialize(),
-		Virtual: virtual,
-	}
+	frame := netmodel.GetFrame()
+	frame.Src = p.Addr
+	frame.Dst = netmodel.RUAddr(c.id)
+	frame.Type = netmodel.EtherTypeECPRI
+	frame.Payload = pkt.SerializePooled()
+	frame.Virtual = virtual
 	traceA, traceB := pkt.TraceArgs()
 	// Serialize copied the packet to the wire, so the staging is done: the
 	// PHY owns pkt and its Payload (pooled by the builders) but never its
@@ -663,8 +662,17 @@ func (p *PHY) transmitDL(c *cell, slot uint64, dl *fapi.DLConfig) {
 }
 
 // HandleFrame implements netmodel.Receiver for fronthaul traffic from the
-// switch (uplink U-plane packets from the RU).
+// switch (uplink U-plane packets from the RU). The PHY is the frame's
+// terminal consumer: everything that outlives the call (IQ staging, UCI
+// reports, the TB sidecar held until drainUL) is copied out by the
+// handlers, so the frame and its wire buffer go back to the pool on
+// return.
 func (p *PHY) HandleFrame(f *netmodel.Frame) {
+	p.handleFrame(f)
+	netmodel.ReleaseFrame(f)
+}
+
+func (p *PHY) handleFrame(f *netmodel.Frame) {
 	if p.crashed || f.Type != netmodel.EtherTypeECPRI {
 		return
 	}
@@ -753,7 +761,15 @@ func (p *PHY) receiveUL(c *cell, pkt *fronthaul.Packet) {
 			c.pool, pdu.HARQID, pdu.NewData)
 		pend.hadIQ = true
 		pend.tbHash = hashTB(pkt.Aux)
-		pend.aux = pkt.Aux
+		// Copy the TB sidecar out of the packet now: the frame's wire
+		// buffer is released when HandleFrame returns, but this pending
+		// entry lives until drainUL. The pending list owns the copy and
+		// hands it to the RX_DATA (decode OK) or back to the pool.
+		// Copy the TB sidecar out of the packet now: the frame's wire
+		// buffer is released when HandleFrame returns, but this pending
+		// entry lives until drainUL. The pending list owns the copy and
+		// hands it to the RX_DATA (decode OK) or back to the pool.
+		pend.aux = append(mem.GetBytesCap(len(pkt.Aux)), pkt.Aux...)
 		snrDB = pend.pb.SNRdB
 	}
 
@@ -877,14 +893,17 @@ func (p *PHY) drainUL(cellID uint16, slot uint64) {
 		})
 		if out.OK {
 			p.Stats.DecodeOK++
-			// Copy the sidecar out of the received frame into an owned
-			// (recycled) buffer: the RX_DATA outlives the frame.
+			// The pending entry's owned sidecar copy (made at receiveUL)
+			// transfers to the RX_DATA: the PHY-side Orion releases it
+			// after forwarding.
 			rx.Payloads = append(rx.Payloads, fapi.TBPayload{
-				UEID: pd.ue, HARQID: pd.harq,
-				Data: append(mem.GetBytesCap(len(pd.aux)), pd.aux...),
+				UEID: pd.ue, HARQID: pd.harq, Data: pd.aux,
 			})
+			pd.aux = nil
 		} else {
 			p.Stats.DecodeFail++
+			mem.PutBytes(pd.aux)
+			pd.aux = nil
 		}
 	}
 	for _, pdu := range ulCfg.PDUs {

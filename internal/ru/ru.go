@@ -74,6 +74,7 @@ type RU struct {
 	stopClock func()
 	lastDL    sim.Time
 	everDL    bool
+	txFn      func(any) // long-lived transmit callback for pooled events
 }
 
 // New creates an RU.
@@ -162,23 +163,35 @@ func (r *RU) collectUplink(slot uint64) {
 // transmit ships a fronthaul packet to the virtual PHY address after an
 // intra-slot offset.
 func (r *RU) transmit(offset sim.Time, pkt *fronthaul.Packet, virtual int) {
-	frame := &netmodel.Frame{
-		Src:     r.Addr,
-		Dst:     netmodel.VirtualPHYAddr(r.Cfg.Cell),
-		Type:    netmodel.EtherTypeECPRI,
-		Payload: pkt.Serialize(),
-		Virtual: virtual,
-	}
-	r.Engine.After(offset, "ru.fh-tx", func() {
-		if r.SendFronthaul != nil {
-			r.SendFronthaul(frame)
+	frame := netmodel.GetFrame()
+	frame.Src = r.Addr
+	frame.Dst = netmodel.VirtualPHYAddr(r.Cfg.Cell)
+	frame.Type = netmodel.EtherTypeECPRI
+	frame.Payload = pkt.SerializePooled()
+	frame.Virtual = virtual
+	if r.txFn == nil {
+		r.txFn = func(a any) {
+			f := a.(*netmodel.Frame)
+			if r.SendFronthaul != nil {
+				r.SendFronthaul(f)
+			} else {
+				netmodel.ReleaseFrame(f)
+			}
 		}
-	})
+	}
+	r.Engine.AfterArgPooled(offset, "ru.fh-tx", r.txFn, frame)
 }
 
 // HandleFrame receives downlink fronthaul from the switch and beams it to
-// the UEs.
+// the UEs. The RU is the frame's terminal consumer: sections and IQ are
+// decoded (copied) into the UEs synchronously, so the frame and its wire
+// buffer go back to the pool on return.
 func (r *RU) HandleFrame(f *netmodel.Frame) {
+	r.handleFrame(f)
+	netmodel.ReleaseFrame(f)
+}
+
+func (r *RU) handleFrame(f *netmodel.Frame) {
 	if f.Type != netmodel.EtherTypeECPRI {
 		return
 	}
@@ -224,17 +237,24 @@ func (r *RU) Alive(window sim.Time) bool {
 }
 
 // resolveSlot maps a wrapped SlotID to the absolute slot nearest to now.
+// The candidate set lives in a fixed array: this runs once per received
+// fronthaul packet and must not allocate.
 func resolveSlot(sid fronthaul.SlotID, nowSlot uint64) uint64 {
 	base := nowSlot - nowSlot%fronthaul.SlotWrap
 	idx := sid.Index()
-	candidates := []uint64{base + idx}
+	var candidates [3]uint64
+	n := 0
+	candidates[n] = base + idx
+	n++
 	if base >= fronthaul.SlotWrap {
-		candidates = append(candidates, base-fronthaul.SlotWrap+idx)
+		candidates[n] = base - fronthaul.SlotWrap + idx
+		n++
 	}
-	candidates = append(candidates, base+fronthaul.SlotWrap+idx)
+	candidates[n] = base + fronthaul.SlotWrap + idx
+	n++
 	best := candidates[0]
 	bestDist := dist(best, nowSlot)
-	for _, c := range candidates[1:] {
+	for _, c := range candidates[1:n] {
 		if d := dist(c, nowSlot); d < bestDist {
 			best, bestDist = c, d
 		}

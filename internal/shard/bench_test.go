@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"slingshot/internal/chaos"
+	"slingshot/internal/mem"
 	"slingshot/internal/sim"
 )
 
@@ -74,35 +75,50 @@ func BenchmarkFrontierSweep(b *testing.B) {
 	}
 }
 
-// BenchmarkMailboxExchange isolates the inter-shard plumbing: encode,
-// post, drain and decode 1k messages in canonical order.
+// BenchmarkMailboxExchange isolates the inter-shard plumbing: decode,
+// post, drain and release 1k messages (8-byte payloads) in canonical
+// order through the pooled wire path the fleet barrier uses. The mailbox
+// is reused across iterations exactly as the fleet reuses its own, so
+// the per-op number is the steady-state barrier cost — asserted
+// alloc-free below (the concrete heap plus pooled payload copies replace
+// ~2k boxing/copy allocs per exchange).
 func BenchmarkMailboxExchange(b *testing.B) {
 	frames := make([][]byte, 1000)
 	for i := range frames {
 		m := Message{
-			At:   sim.Time(i % 97),
-			Src:  uint16(i % 31),
-			Seq:  uint64(i),
-			Dst:  uint16((i + 1) % 31),
-			Kind: KindBackhaul,
-			A:    uint64(i),
+			At:      sim.Time(i % 97),
+			Src:     uint16(i % 31),
+			Seq:     uint64(i),
+			Dst:     uint16((i + 1) % 31),
+			Kind:    KindBackhaul,
+			A:       uint64(i),
+			Payload: []byte{byte(i), byte(i >> 8), 3, 4, 5, 6, 7, 8},
 		}
 		frames[i] = Encode(&m)
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		var mb Mailbox
+	exchange := func(mb *Mailbox) {
 		for _, f := range frames {
-			m, err := Decode(f)
+			m, err := DecodePooled(f)
 			if err != nil {
 				b.Fatal(err)
 			}
 			mb.Post(m)
 		}
-		n := mb.DrainUpTo(1<<40, func(Message) {})
+		n := mb.DrainUpTo(1<<40, func(m Message) { mem.PutBytes(m.Payload) })
 		if n != len(frames) {
 			b.Fatalf("drained %d of %d", n, len(frames))
 		}
+	}
+	var mb Mailbox
+	exchange(&mb) // warm the heap's backing array and the payload pool
+	if !mem.DetectorArmed() {
+		if avg := testing.AllocsPerRun(10, func() { exchange(&mb) }); avg > 0 {
+			b.Fatalf("steady-state exchange allocates %.1f times per 1k messages, want 0", avg)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exchange(&mb)
 	}
 }

@@ -884,7 +884,7 @@ func (f *Fleet) post(dst uint16, kind Kind, at sim.Time, a, b uint64) {
 func (f *Fleet) exchange(now, next sim.Time) error {
 	for _, cs := range f.cells {
 		for _, frame := range cs.out {
-			m, err := Decode(frame)
+			m, err := DecodePooled(frame)
 			mem.PutBytes(frame)
 			if err != nil {
 				return fmt.Errorf("shard: cell %d produced an undecodable frame: %w", cs.idx, err)
@@ -920,6 +920,7 @@ func (f *Fleet) exchange(now, next sim.Time) error {
 		if w := f.partitionAt(m); w != nil {
 			if m.Kind == KindBackhaul {
 				f.partDrop++
+				mem.PutBytes(m.Payload)
 				return
 			}
 			f.partDefer++
@@ -931,14 +932,21 @@ func (f *Fleet) exchange(now, next sim.Time) error {
 		f.exchanged++
 		if m.Dst == ControllerID {
 			f.handleControl(m)
+			mem.PutBytes(m.Payload)
 			return
 		}
 		if int(m.Dst) >= len(f.cells) {
+			mem.PutBytes(m.Payload)
 			return // fuzz-grade safety; the fleet never addresses outside itself
 		}
 		dst := f.cells[m.Dst]
 		held := m
-		dst.eng.At(m.At, "fleet.deliver", func() { dst.onMessage(f, held) })
+		dst.eng.At(m.At, "fleet.deliver", func() {
+			dst.onMessage(f, held)
+			// The handlers digest the payload but never retain it; the
+			// pooled copy DecodePooled leased goes back at delivery.
+			mem.PutBytes(held.Payload)
+		})
 	})
 	return nil
 }

@@ -1,8 +1,6 @@
 package shard
 
 import (
-	"container/heap"
-
 	"slingshot/internal/sim"
 )
 
@@ -12,34 +10,27 @@ import (
 // shard-group count: the key uses only logical shard ids and virtual
 // time, never goroutine identity or post order.
 //
+// The heap is a concrete 4-ary min-heap on []Message with inlined sifts —
+// the container/heap version boxed every Push/Pop through `any`, which
+// alone cost ~2k allocs per 1k-message exchange. A drained mailbox keeps
+// its backing array, so the steady-state barrier loop does not allocate.
+//
 // The mailbox itself is not goroutine-safe: cells accumulate wire frames
 // in per-shard outboxes during a lockstep step, and only the coordinator
 // posts and drains, strictly between barriers.
 type Mailbox struct {
-	h msgHeap
+	h []Message
 }
 
-type msgHeap []Message
-
-func (h msgHeap) Len() int { return len(h) }
-func (h msgHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+// msgBefore is the canonical (At, Src, Seq) drain order.
+func msgBefore(a, b *Message) bool {
+	if a.At != b.At {
+		return a.At < b.At
 	}
-	if h[i].Src != h[j].Src {
-		return h[i].Src < h[j].Src
+	if a.Src != b.Src {
+		return a.Src < b.Src
 	}
-	return h[i].Seq < h[j].Seq
-}
-func (h msgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *msgHeap) Push(x any)   { *h = append(*h, x.(Message)) }
-func (h *msgHeap) Pop() any {
-	old := *h
-	n := len(old)
-	m := old[n-1]
-	old[n-1] = Message{}
-	*h = old[:n-1]
-	return m
+	return a.Seq < b.Seq
 }
 
 // Post enqueues one message. Duplicate (At, Src, Seq) keys are tolerated
@@ -47,11 +38,56 @@ func (h *msgHeap) Pop() any {
 // keys only arise from a buggy or fuzzing producer, never from the fleet,
 // whose per-source Seq strictly increases).
 func (mb *Mailbox) Post(m Message) {
-	heap.Push(&mb.h, m)
+	h := append(mb.h, m)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !msgBefore(&h[i], &h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	mb.h = h
 }
 
 // Pending returns how many messages are queued.
 func (mb *Mailbox) Pending() int { return len(mb.h) }
+
+// pop removes and returns the (At, Src, Seq) minimum. The caller has
+// checked the mailbox is non-empty.
+func (mb *Mailbox) pop() Message {
+	h := mb.h
+	m := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = Message{} // drop payload reference
+	h = h[:n]
+	mb.h = h
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		min := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if msgBefore(&h[j], &h[min]) {
+				min = j
+			}
+		}
+		if !msgBefore(&h[min], &h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return m
+}
 
 // DrainUpTo delivers every queued message with At ≤ deadline to fn, in
 // (At, Src, Seq) order. Messages posted *during* the drain (controller
@@ -62,7 +98,7 @@ func (mb *Mailbox) Pending() int { return len(mb.h) }
 func (mb *Mailbox) DrainUpTo(deadline sim.Time, fn func(Message)) int {
 	n := 0
 	for len(mb.h) > 0 && mb.h[0].At <= deadline {
-		m := heap.Pop(&mb.h).(Message)
+		m := mb.pop()
 		n++
 		fn(m)
 	}

@@ -16,6 +16,7 @@ package shard
 import (
 	"fmt"
 
+	"slingshot/internal/mem"
 	"slingshot/internal/sim"
 )
 
@@ -168,6 +169,19 @@ func Encode(m *Message) []byte {
 // the transport). The payload is copied out, so the caller may recycle
 // data immediately.
 func Decode(data []byte) (Message, error) {
+	return decode(data, false)
+}
+
+// DecodePooled is Decode with the payload copy leased from internal/mem
+// instead of freshly allocated: the caller owns it and must
+// mem.PutBytes(m.Payload) once the message is fully consumed (losing it
+// on a drop path is safe — the GC reclaims it). With pooling disabled
+// (SLINGSHOT_POOL=off) it degrades to exactly Decode.
+func DecodePooled(data []byte) (Message, error) {
+	return decode(data, true)
+}
+
+func decode(data []byte, pooled bool) (Message, error) {
 	var m Message
 	if len(data) < headerLen {
 		return m, fmt.Errorf("shard: message truncated (%d bytes)", len(data))
@@ -194,8 +208,12 @@ func Decode(data []byte) (Message, error) {
 	m.A = getU64(data[23:])
 	m.B = getU64(data[31:])
 	if plen > 0 {
-		m.Payload = make([]byte, plen)
-		copy(m.Payload, data[headerLen:])
+		if pooled {
+			m.Payload = append(mem.GetBytesCap(plen), data[headerLen:headerLen+plen]...)
+		} else {
+			m.Payload = make([]byte, plen)
+			copy(m.Payload, data[headerLen:])
+		}
 	}
 	return m, nil
 }

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -21,8 +20,9 @@ type Event struct {
 	arg   any
 
 	seq      uint64
-	index    int // heap index; -1 when not queued
 	canceled bool
+	removed  bool // lazily deleted by Remove; discarded when it surfaces
+	queued   bool // currently in the queue (either tier)
 	pooled   bool // recycled onto the engine free list after firing
 }
 
@@ -45,41 +45,16 @@ func (e *Event) Cancel() {
 // Canceled reports whether Cancel was called on the event.
 func (e *Event) Canceled() bool { return e != nil && e.canceled }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
-
 // Engine is the discrete-event simulation core. It is not safe for
 // concurrent use: simulated entities are single-threaded by design, matching
 // the determinism requirement.
+//
+// Pending events live in a two-tier calendar/4-ary-heap queue (queue.go):
+// near-future events in ring buckets, far-future events in a specialized
+// heap, popped in exact (At, seq) order either way.
 type Engine struct {
 	now     Time
-	queue   eventHeap
+	q       calQueue
 	nextSeq uint64
 	stopped bool
 
@@ -110,7 +85,7 @@ func (e *Engine) At(at Time, name string, fn func()) *Event {
 	}
 	ev := &Event{At: at, Do: fn, Name: name, seq: e.nextSeq}
 	e.nextSeq++
-	heap.Push(&e.queue, ev)
+	e.q.push(ev, e.now)
 	return ev
 }
 
@@ -150,7 +125,7 @@ func (e *Engine) push(ev *Event, at Time, name string) {
 	ev.seq = e.nextSeq
 	ev.canceled = false
 	e.nextSeq++
-	heap.Push(&e.queue, ev)
+	e.q.push(ev, e.now)
 }
 
 // AtPooled schedules fn at absolute time at, recycling the event struct
@@ -206,18 +181,23 @@ func (e *Engine) recycle(ev *Event) {
 	e.free = append(e.free, ev)
 }
 
-// Remove cancels ev and deletes it from the queue immediately. Cancel
-// alone leaves the event in the heap until its fire time — harmless for
-// one-shots, but a canceled far-future or periodic event would otherwise
-// linger as queue garbage (and keep Pending nonzero). Safe on nil and on
-// events that already fired or were already removed.
+// Remove cancels ev and deletes it from the queue immediately: Pending
+// drops at once and the event can never fire. Deletion is lazy — the
+// struct stays in its tier until it surfaces at a pop and is discarded —
+// but that is unobservable: Pending counts it out now, QueueSnapshot
+// skips it, and the discard never advances the clock. Cancel alone leaves
+// the event counted until its fire time — harmless for one-shots, but a
+// canceled far-future or periodic event would otherwise linger as queue
+// garbage (and keep Pending nonzero). Safe on nil and on events that
+// already fired or were already removed.
 func (e *Engine) Remove(ev *Event) {
 	if ev == nil {
 		return
 	}
 	ev.canceled = true
-	if ev.index >= 0 && ev.index < len(e.queue) && e.queue[ev.index] == ev {
-		heap.Remove(&e.queue, ev.index)
+	if ev.queued && !ev.removed {
+		ev.removed = true
+		e.q.live--
 	}
 }
 
@@ -241,7 +221,7 @@ func (e *Engine) Every(delay, period Time, name string, fn func()) (cancel func(
 		fn()
 		if !stopped { // fn may have canceled us
 			// Reuse the same event for every tick: it has already fired
-			// (popped from the heap), and the only outstanding handle is
+			// (popped from the queue), and the only outstanding handle is
 			// ours, so re-queueing it cannot confuse any caller.
 			e.rearm(pending, e.now+period)
 		}
@@ -257,10 +237,13 @@ func (e *Engine) Every(delay, period Time, name string, fn func()) (cancel func(
 // empty or the engine is stopped.
 func (e *Engine) Step() bool {
 	for {
-		if e.stopped || e.queue.Len() == 0 {
+		if e.stopped {
 			return false
 		}
-		ev := heap.Pop(&e.queue).(*Event)
+		ev := e.q.pop(e.now)
+		if ev == nil {
+			return false
+		}
 		if ev.canceled {
 			if ev.pooled {
 				e.recycle(ev)
@@ -282,13 +265,12 @@ func (e *Engine) Step() bool {
 // still holding later events.
 func (e *Engine) RunUntil(deadline Time) {
 	for !e.stopped {
-		if e.queue.Len() == 0 {
+		next := e.q.peek(e.now)
+		if next == nil {
 			break
 		}
-		// Peek.
-		next := e.queue[0]
 		if next.canceled {
-			heap.Pop(&e.queue)
+			e.q.pop(e.now)
 			if next.pooled {
 				e.recycle(next)
 			}
@@ -297,7 +279,7 @@ func (e *Engine) RunUntil(deadline Time) {
 		if next.At > deadline {
 			break
 		}
-		heap.Pop(&e.queue)
+		e.q.pop(e.now)
 		e.now = next.At
 		e.Processed++
 		next.fire()
@@ -324,7 +306,7 @@ func (e *Engine) Stopped() bool { return e.stopped }
 
 // Pending returns the number of queued events (Canceled-but-not-Removed
 // events still count until their fire time).
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return e.q.live }
 
 // NextSeq returns the sequence number the next scheduled event will get.
 // Together with QueueSnapshot it pins the engine's scheduling state for
@@ -347,13 +329,12 @@ type QueuedEvent struct {
 }
 
 // QueueSnapshot returns the pending events in canonical (At, Seq) order.
-// The heap itself is only partially ordered, so the snapshot sorts a
-// copy; the engine's queue is not disturbed.
+// The tiers are only partially ordered, so the snapshot sorts a copy; the
+// engine's queue is not disturbed. Lazily-removed events are excluded —
+// they are no longer part of the schedule's identity, exactly as they
+// were absent from the seed's eagerly-deleted heap.
 func (e *Engine) QueueSnapshot() []QueuedEvent {
-	out := make([]QueuedEvent, len(e.queue))
-	for i, ev := range e.queue {
-		out[i] = QueuedEvent{At: ev.At, Seq: ev.seq, Name: ev.Name, Canceled: ev.canceled}
-	}
+	out := e.q.snapshot(make([]QueuedEvent, 0, e.q.live))
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].At != out[j].At {
 			return out[i].At < out[j].At

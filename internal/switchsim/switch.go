@@ -279,15 +279,12 @@ func (s *Switch) onDetectorDeadline(arg any) {
 	d.fired = true
 	s.Stats.FailuresDetected++
 	s.DetectionLog = append(s.DetectionLog, s.Engine.Now())
-	s.sendTo(d.notify, &netmodel.Frame{
-		Src:  netmodel.ControllerAddr(),
-		Dst:  d.notify,
-		Type: netmodel.EtherTypeControl,
-		Payload: (&Command{
-			Type: CmdFailureNotify,
-			PHY:  phy,
-		}).Encode(),
-	})
+	nf := netmodel.GetFrame()
+	nf.Src = netmodel.ControllerAddr()
+	nf.Dst = d.notify
+	nf.Type = netmodel.EtherTypeControl
+	nf.Payload = (&Command{Type: CmdFailureNotify, PHY: phy}).Encode()
+	s.sendTo(d.notify, nf)
 }
 
 // HandleFrame is the ingress pipeline.
@@ -308,6 +305,7 @@ func (s *Switch) handleFronthaul(f *netmodel.Frame) {
 	slot, dir, ok := fronthaul.PeekSlot(f.Payload)
 	if !ok {
 		s.Stats.DroppedNoRoute++
+		netmodel.ReleaseFrame(f)
 		return
 	}
 	if dir == fronthaul.Uplink {
@@ -323,17 +321,20 @@ func (s *Switch) handleUplink(f *netmodel.Frame, slot fronthaul.SlotID) {
 	ru, ok := s.ruIDByMAC[f.Src]
 	if !ok {
 		s.Stats.DroppedUnmappedRU++
+		netmodel.ReleaseFrame(f)
 		return
 	}
 	s.maybeMigrate(ru, slot)
 	phy := s.ruToPHY[ru]
 	if phy == NoPHY {
 		s.Stats.DroppedNoRoute++
+		netmodel.ReleaseFrame(f)
 		return
 	}
 	dst := s.phyMACByID[phy]
 	if dst == 0 {
 		s.Stats.DroppedNoRoute++
+		netmodel.ReleaseFrame(f)
 		return
 	}
 	// Rewrite the virtual PHY address to the physical one.
@@ -375,6 +376,7 @@ func (s *Switch) handleDownlink(f *netmodel.Frame, slot fronthaul.SlotID) {
 	ru, ok := s.ruIDByMAC[f.Dst]
 	if !ok {
 		s.Stats.DroppedNoRoute++
+		netmodel.ReleaseFrame(f)
 		return
 	}
 	s.maybeMigrate(ru, slot)
@@ -382,6 +384,7 @@ func (s *Switch) handleDownlink(f *netmodel.Frame, slot fronthaul.SlotID) {
 		// Blocks the hot-standby secondary's control-plane packets from
 		// reaching the RU (§5, requirement 2).
 		s.Stats.DroppedStalePHY++
+		netmodel.ReleaseFrame(f)
 		return
 	}
 	s.Stats.DownlinkForwarded++
@@ -420,6 +423,7 @@ func (s *Switch) handleControl(f *netmodel.Frame) {
 		return
 	}
 	cmd, err := DecodeCommand(f.Payload)
+	netmodel.ReleaseFrame(f) // terminal: the command is decoded out
 	if err != nil {
 		s.Stats.DroppedNoRoute++
 		return
@@ -437,6 +441,7 @@ func (s *Switch) forward(dst netmodel.Addr, f *netmodel.Frame) {
 	link := s.ports[dst]
 	if link == nil {
 		s.Stats.DroppedNoRoute++
+		netmodel.ReleaseFrame(f)
 		return
 	}
 	s.Stats.Forwarded++

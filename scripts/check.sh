@@ -51,6 +51,26 @@ SLINGSHOT_WORKERS=4 go test -race ./internal/fronthaul -count=1 \
 SLINGSHOT_WORKERS=4 go test -race ./internal/phy -count=1 \
     -run 'TestLLRLane'
 
+echo "== scheduler differential lane (-race, two-tier queue vs reference heap) =="
+# The event core's two-tier calendar/heap queue is pinned to the seed's
+# container/heap engine kept in-tree (sim/reference.go): randomized op
+# scripts (FIFO-tied bursts, far-future timers, Remove on stale handles,
+# periodic cancels) must fire identical event logs with identical clocks,
+# Pending counts and queue snapshots — the snapshot equality is what keeps
+# checkpoint fingerprints engine-independent.
+SLINGSHOT_WORKERS=4 go test -race ./internal/sim -count=1 \
+    -run 'TestQueueDifferential|TestEngineStepBenchmarksDoNotAllocate'
+
+echo "== scheduler bench smoke (--compare over engine microbenches) =="
+# Same shape as the kernel bench smoke: one iteration of the engine
+# microbenchmarks through the JSON harness plus a self-diff, so the
+# schedule→fire alloc assertions and the compare pipeline run every check.
+SSMOKE="$(mktemp -d)"
+BENCHTIME=1x COUNT=1 OUT="$SSMOKE/sched.json" \
+    scripts/bench.sh 'EngineStep|EngineScheduleCancel' > /dev/null
+scripts/bench.sh --diff "$SSMOKE/sched.json" "$SSMOKE/sched.json" > /dev/null
+rm -rf "$SSMOKE"
+
 echo "== kernel bench smoke (--compare over FEC/BFP/demod kernels) =="
 # A fast --compare pass over just the kernel benchmarks against a
 # self-recorded snapshot: exercises the full compare pipeline (run, JSON,
